@@ -1,0 +1,101 @@
+// litmusrun exhaustively checks the built-in litmus tests against each
+// memory model on the operational simulator, and optionally measures
+// relaxed-outcome frequencies under a random scheduler.
+//
+// Usage:
+//
+//	litmusrun                      # conformance matrix for all tests
+//	litmusrun -test SB -freq 20000 # frequency measurement for one test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memreliability/internal/litmus"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/report"
+	"memreliability/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "litmusrun: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("litmusrun", flag.ContinueOnError)
+	testName := fs.String("test", "", "run a single named test (default: all)")
+	freq := fs.Int("freq", 0, "also measure target frequency over this many random runs")
+	seed := fs.Uint64("seed", 1, "seed for frequency runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tests := litmus.Registry()
+	if *testName != "" {
+		t, err := litmus.ByName(*testName)
+		if err != nil {
+			return err
+		}
+		tests = []litmus.Test{t}
+	}
+
+	tbl, err := report.NewTable("Litmus conformance (exhaustive exploration; X = target reachable)",
+		"test", "target", "model", "reachable", "expected", "conforms", "outcomes")
+	if err != nil {
+		return err
+	}
+	for _, t := range tests {
+		for _, model := range memmodel.All() {
+			r, err := litmus.Check(t, model)
+			if err != nil {
+				return err
+			}
+			if err := tbl.AddRowValues(t.Name, t.Target.String(), model.Name(),
+				mark(r.Reachable), mark(r.Expected), fmt.Sprintf("%v", r.Conforms()),
+				r.Outcomes); err != nil {
+				return err
+			}
+		}
+	}
+	if err := tbl.WriteText(out); err != nil {
+		return err
+	}
+
+	if *freq > 0 {
+		src := rng.New(*seed)
+		ftbl, err := report.NewTable(
+			fmt.Sprintf("\nTarget frequency under a uniform random scheduler (%d runs)", *freq),
+			"test", "model", "frequency")
+		if err != nil {
+			return err
+		}
+		for _, t := range tests {
+			for _, model := range memmodel.All() {
+				f, err := litmus.TargetFrequency(t, model, *freq, src)
+				if err != nil {
+					return err
+				}
+				if err := ftbl.AddRowValues(t.Name, model.Name(), f); err != nil {
+					return err
+				}
+			}
+		}
+		if err := ftbl.WriteText(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mark(b bool) string {
+	if b {
+		return "X"
+	}
+	return "-"
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllTests(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"SB", "MP", "LB", "IRIW", "INC", "conforms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("some test did not conform:\n%s", out)
+	}
+}
+
+func TestRunSingleTestWithFrequency(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-test", "SB", "-freq", "2000"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Target frequency") {
+		t.Errorf("frequency table missing:\n%s", out)
+	}
+	if strings.Contains(out, "MP") {
+		t.Error("single-test run printed other tests")
+	}
+}
+
+func TestRunUnknownTest(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-test", "NOPE"}, &sb); err == nil {
+		t.Error("unknown test accepted")
+	}
+}
+
+func TestMark(t *testing.T) {
+	if mark(true) != "X" || mark(false) != "-" {
+		t.Error("mark wrong")
+	}
+}

@@ -1,0 +1,153 @@
+// memrisk computes the paper's bug-manifestation probabilities for a given
+// memory model and thread count, using all three estimation routes
+// (analytic/exact DP, full Monte Carlo, Theorem 6.1 hybrid).
+//
+// Usage:
+//
+//	memrisk -model TSO -threads 2 -trials 200000 -seed 1
+//	memrisk -model WO -threads 8 -trials 50000      # hybrid only at n>4
+//	memrisk -sweep -trials 50000                    # Theorem 6.3 sweep
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"memreliability/internal/analytic"
+	"memreliability/internal/core"
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "memrisk: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("memrisk", flag.ContinueOnError)
+	modelName := fs.String("model", "TSO", "memory model: SC, TSO, PSO, or WO")
+	threads := fs.Int("threads", 2, "number of concurrent buggy threads (n ≥ 2)")
+	trials := fs.Int("trials", 200000, "Monte Carlo trials")
+	seed := fs.Uint64("seed", 1, "experiment seed (runs are reproducible)")
+	prefixLen := fs.Int("m", 64, "program prefix length m")
+	storeProb := fs.Float64("p", 0.5, "store probability p")
+	swapProb := fs.Float64("s", 0.5, "swap probability s")
+	sweep := fs.Bool("sweep", false, "run the Theorem 6.3 thread-scaling sweep instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	if *sweep {
+		return runSweep(ctx, out, *trials, *seed)
+	}
+
+	model, err := memmodel.ByName(*modelName)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Model:     model,
+		Threads:   *threads,
+		PrefixLen: *prefixLen,
+		StoreProb: *storeProb,
+		SwapProb:  *swapProb,
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	tbl, err := report.NewTable(
+		fmt.Sprintf("Pr[A] (bug does NOT manifest): model=%s n=%d m=%d p=%g s=%g",
+			model.Name(), *threads, *prefixLen, *storeProb, *swapProb),
+		"method", "estimate", "notes")
+	if err != nil {
+		return err
+	}
+
+	if *threads == 2 {
+		exactCfg := cfg
+		if exactCfg.PrefixLen > 16 {
+			exactCfg.PrefixLen = 16
+		}
+		iv, err := core.ExactTwoThreadPrA(exactCfg)
+		if err != nil {
+			return err
+		}
+		if err := tbl.AddRowValues("exact DP (n=2)", iv.Midpoint(),
+			report.FormatInterval(iv.Lo, iv.Hi)); err != nil {
+			return err
+		}
+		switch model.Name() {
+		case "SC":
+			if err := tbl.AddRowValues("paper (Thm 6.2)", analytic.Theorem62SC, "1/6"); err != nil {
+				return err
+			}
+		case "WO":
+			if err := tbl.AddRowValues("paper (Thm 6.2)", analytic.Theorem62WO, "7/54"); err != nil {
+				return err
+			}
+		case "TSO":
+			paper := analytic.Theorem62TSO()
+			if err := tbl.AddRowValues("paper (Thm 6.2)", paper.Midpoint(),
+				report.FormatInterval(paper.Lo, paper.Hi)); err != nil {
+				return err
+			}
+		}
+	}
+
+	mcCfg := mc.Config{Trials: *trials, Seed: *seed}
+	if *threads <= 4 {
+		res, err := core.EstimateNoBugProb(ctx, cfg, mcCfg)
+		if err != nil {
+			return err
+		}
+		lo, hi, err := res.WilsonCI(0.99)
+		if err != nil {
+			return err
+		}
+		if err := tbl.AddRowValues("full Monte Carlo", res.Estimate(),
+			"99% CI "+report.FormatInterval(lo, hi)); err != nil {
+			return err
+		}
+	}
+
+	hyb, err := core.HybridPrA(ctx, cfg, mcCfg)
+	if err != nil {
+		return err
+	}
+	if err := tbl.AddRowValues("hybrid (Thm 6.1)", hyb.PrA,
+		fmt.Sprintf("ln Pr[A] = %s", report.FormatRatio(hyb.LogPrA))); err != nil {
+		return err
+	}
+
+	return tbl.WriteText(out)
+}
+
+func runSweep(ctx context.Context, out io.Writer, trials int, seed uint64) error {
+	models := []memmodel.Model{memmodel.SC(), memmodel.TSO(), memmodel.PSO(), memmodel.WO()}
+	rows, err := core.ThreadScalingSweep(ctx, models, []int{2, 3, 4, 6, 8, 12, 16}, 48,
+		mc.Config{Trials: trials, Seed: seed})
+	if err != nil {
+		return err
+	}
+	tbl, err := report.NewTable("Theorem 6.3 sweep: −ln Pr[A]/n² and ratio to SC",
+		"n", "model", "ln Pr[A]", "rate", "ratio to SC")
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := tbl.AddRowValues(r.Threads, r.Model, report.FormatRatio(r.LogPrA),
+			report.FormatRatio(r.Rate), report.FormatRatio(r.RatioToSC)); err != nil {
+			return err
+		}
+	}
+	return tbl.WriteText(out)
+}

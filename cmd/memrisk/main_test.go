@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunTwoThreadTSO(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "TSO", "-threads", "2", "-trials", "20000", "-seed", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"exact DP (n=2)", "paper (Thm 6.2)", "full Monte Carlo", "hybrid (Thm 6.1)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLargeNSkipsFullMC(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "WO", "-threads", "8", "-trials", "5000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "full Monte Carlo") {
+		t.Errorf("n=8 ran full MC:\n%s", out)
+	}
+	if !strings.Contains(out, "hybrid") {
+		t.Errorf("n=8 missing hybrid:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "RC"}, &sb); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestRunRejectsBadThreads(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-threads", "1"}, &sb); err == nil {
+		t.Error("threads=1 accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-sweep", "-trials", "3000"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ratio to SC") || !strings.Contains(out, "WO") {
+		t.Errorf("sweep output malformed:\n%s", out)
+	}
+}

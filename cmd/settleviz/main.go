@@ -1,0 +1,119 @@
+// settleviz renders seeded instantiations of the paper's two random
+// processes as text: the settling process (Figure 1) and the shift process
+// (Figure 2).
+//
+// Usage:
+//
+//	settleviz -model TSO -m 6 -seed 2011
+//	settleviz -shift 3,2,5 -seed 2011
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"memreliability/internal/memmodel"
+	"memreliability/internal/prog"
+	"memreliability/internal/rng"
+	"memreliability/internal/settle"
+	"memreliability/internal/shift"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "settleviz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("settleviz", flag.ContinueOnError)
+	modelName := fs.String("model", "TSO", "memory model for the settling trace")
+	m := fs.Int("m", 6, "prefix length for the settling trace")
+	seed := fs.Uint64("seed", 2011, "random seed")
+	shiftSpec := fs.String("shift", "", "render a shift-process instantiation for comma-separated lengths instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src := rng.New(*seed)
+
+	if *shiftSpec != "" {
+		return renderShift(out, *shiftSpec, src)
+	}
+	return renderSettle(out, *modelName, *m, src)
+}
+
+func renderSettle(out io.Writer, modelName string, m int, src *rng.Source) error {
+	model, err := memmodel.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	p, err := prog.Generate(prog.DefaultParams(m), src)
+	if err != nil {
+		return err
+	}
+	res, snaps, err := settle.SettleTraced(p, model, settle.DefaultOptions(), src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Settling process under %s (Figure 1 style; * marks critical instructions)\n\n", model.Name())
+	fmt.Fprintf(out, "initial: %s\n\n", p.String())
+	for _, snap := range snaps {
+		marker := " "
+		if snap.EndPos != snap.StartPos {
+			marker = fmt.Sprintf("moved %d->%d", snap.StartPos, snap.EndPos)
+		}
+		cells := make([]string, len(snap.Order))
+		for pos, idx := range snap.Order {
+			cells[pos] = p.At(idx).String()
+		}
+		fmt.Fprintf(out, "round %2d: %-60s %s\n", snap.Round, strings.Join(cells, " "), marker)
+	}
+	loadPos, storePos := res.WindowBounds()
+	fmt.Fprintf(out, "\ncritical window: positions %d..%d, γ = %d, segment length Γ = %d\n",
+		loadPos, storePos, res.WindowGamma(), res.SegmentLength())
+	return nil
+}
+
+func renderShift(out io.Writer, spec string, src *rng.Source) error {
+	parts := strings.Split(spec, ",")
+	lengths := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad length %q: %w", part, err)
+		}
+		lengths = append(lengths, v)
+	}
+	placement, err := shift.Sample(lengths, src)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Shift process on γ̄ = %v (Figure 2 style)\n\n", lengths)
+	maxEnd := 0
+	for i := range lengths {
+		if end := placement.Shifts[i] + placement.Lengths[i]; end > maxEnd {
+			maxEnd = end
+		}
+	}
+	for i := range lengths {
+		line := make([]byte, maxEnd+1)
+		for j := range line {
+			line[j] = '.'
+		}
+		for j := placement.Shifts[i]; j <= placement.Shifts[i]+placement.Lengths[i]; j++ {
+			line[j] = '#'
+		}
+		fmt.Fprintf(out, "segment %d (shift %2d): %s\n", i+1, placement.Shifts[i], line)
+	}
+	exact, err := shift.ExactTheorem51(lengths)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ndisjoint this draw: %v;  Pr[A(γ̄)] exact = %.6f\n", placement.Disjoint(), exact)
+	return nil
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSettleTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TSO", "-m", "6", "-seed", "2011"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Settling process under TSO", "round", "critical window", "γ ="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunShiftTrace(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-shift", "3,2,5", "-seed", "2011"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Shift process", "segment 1", "segment 3", "Pr[A("} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunShiftRejectsBadSpec(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-shift", "3,two,5"}, &sb); err == nil {
+		t.Error("bad shift spec accepted")
+	}
+	if err := run([]string{"-shift", "4"}, &sb); err == nil {
+		t.Error("single-segment spec accepted")
+	}
+}
+
+func TestRunRejectsBadModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "XYZ"}, &sb); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-m", "8", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-m", "8", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed gave different traces")
+	}
+}

@@ -1,0 +1,87 @@
+// fences explores the paper's §7 extension: acquire/release fences as
+// one-way barriers in the settling process. An acquire fence placed above
+// the critical load prevents it from settling upward, shrinking the
+// critical window and pushing Weak Ordering's reliability back toward
+// Sequential Consistency — quantifying the paper's conjecture that fences
+// make the bug less likely without changing the main conclusions.
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/prog"
+	"memreliability/internal/rng"
+	"memreliability/internal/settle"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "fences: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// windowWithFence samples the WO critical-window size with an acquire
+// fence `distance` instructions above the critical load (distance < 0
+// means no fence).
+func windowWithFence(distance, prefixLen int, src *rng.Source) (int, error) {
+	types := make([]memmodel.OpType, prefixLen)
+	for i := range types {
+		if src.Bool(0.5) {
+			types[i] = memmodel.Store
+		} else {
+			types[i] = memmodel.Load
+		}
+	}
+	if distance >= 0 && distance < prefixLen {
+		types[prefixLen-1-distance] = memmodel.FenceAcquire
+	}
+	p, err := prog.FromTypes(types)
+	if err != nil {
+		return 0, err
+	}
+	res, err := settle.Settle(p, memmodel.WO(), settle.DefaultOptions(), src)
+	if err != nil {
+		return 0, err
+	}
+	return res.WindowGamma(), nil
+}
+
+func run() error {
+	ctx := context.Background()
+	fmt.Println("§7 extension: acquire fences above the critical LD under Weak Ordering")
+	fmt.Println()
+	fmt.Printf("%-9s  %8s  %10s  %14s\n", "distance", "E[γ]", "Pr[γ=0]", "n=2 Pr[A]")
+	for _, distance := range []int{0, 1, 2, 4, 8, -1} {
+		distance := distance
+		hist, err := mc.EstimateDistribution(ctx, mc.Config{Trials: 150000, Seed: 99}, 24,
+			func(src *rng.Source) (int, error) {
+				return windowWithFence(distance, 24, src)
+			})
+		if err != nil {
+			return err
+		}
+		meanGamma, mgf := 0.0, 0.0
+		for g := 0; g < 24; g++ {
+			meanGamma += float64(g) * hist.Freq(g)
+			mgf += math.Pow(2, -float64(g+2)) * hist.Freq(g)
+		}
+		label := fmt.Sprintf("%d", distance)
+		if distance < 0 {
+			label = "none"
+		}
+		fmt.Printf("%-9s  %8.4f  %10.4f  %14.6f\n", label, meanGamma, hist.Freq(0), 2.0/3.0*mgf)
+	}
+	fmt.Println()
+	fmt.Println("A fence directly above the critical LD (distance 0) caps γ at 0 and")
+	fmt.Println("recovers the Sequential Consistency value Pr[A] = 1/6; pushing the")
+	fmt.Println("fence farther away smoothly interpolates back to unfenced WO (7/54),")
+	fmt.Println("supporting the paper's conjecture that fences only strengthen, never")
+	fmt.Println("reverse, the qualitative conclusions.")
+	return nil
+}

@@ -1,0 +1,42 @@
+// Quickstart: compare the probability that the canonical atomicity
+// violation does NOT manifest (the paper's Pr[A]) across memory models for
+// two threads, reproducing Theorem 6.2.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"memreliability"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	fmt.Println("Pr[A] for n=2 threads (Theorem 6.2): exact vs simulated")
+	fmt.Println()
+	for _, model := range memreliability.AllModels() {
+		exact, err := memreliability.TwoThreadNoBugProbability(model)
+		if err != nil {
+			return err
+		}
+		est, lo, hi, err := memreliability.NoBugProbability(ctx, model, 2, 100000, 42)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-4s exact=%.6f  simulated=%.6f (99%% CI [%.6f, %.6f])\n",
+			model.Name(), exact.Midpoint(), est, lo, hi)
+	}
+	fmt.Println()
+	fmt.Println("Weaker models are more vulnerable at n=2 (SC > PSO > TSO > WO),")
+	fmt.Println("with SC/WO = 9/7 ≈ 1.286 — run examples/threadscaling to see the")
+	fmt.Println("gap vanish as n grows (Theorem 6.3).")
+	return nil
+}

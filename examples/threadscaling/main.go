@@ -1,0 +1,47 @@
+// threadscaling reproduces the paper's second headline result (Theorem
+// 6.3): as the number of concurrent buggy threads grows, the reliability
+// gap between strict and relaxed memory models becomes proportionally
+// insignificant — the normalized decay rate −ln Pr[A]/n² converges to the
+// same value for every model.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"memreliability"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "threadscaling: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	models := []memreliability.Model{
+		memreliability.SC(), memreliability.TSO(), memreliability.WO(),
+	}
+	ns := []int{2, 3, 4, 6, 8, 12}
+	rows, err := memreliability.ThreadScaling(ctx, models, ns, 60000, 63)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Theorem 6.3: −ln Pr[A] / n² per model (hybrid Theorem 6.1 estimator)")
+	fmt.Println()
+	fmt.Printf("%4s  %-5s  %12s  %8s  %12s\n", "n", "model", "ln Pr[A]", "rate", "ratio to SC")
+	for _, r := range rows {
+		fmt.Printf("%4d  %-5s  %12.4f  %8.4f  %12.4f\n",
+			r.Threads, r.Model, r.LogPrA, r.Rate, r.RatioToSC)
+	}
+	fmt.Println()
+	fmt.Println("The ratio-to-SC column tends to 1 for TSO and WO as n grows: with")
+	fmt.Println("many threads, even Sequential Consistency cannot contain the bug,")
+	fmt.Println("so the choice of memory model stops mattering for this reliability")
+	fmt.Println("metric — the paper's counterintuitive conclusion.")
+	return nil
+}

@@ -1,0 +1,438 @@
+package analytic
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"memreliability/internal/dist"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/settle"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 0.1, Hi: 0.3}
+	if !iv.Contains(0.2) || iv.Contains(0.31) || iv.Contains(0.09) {
+		t.Error("Contains wrong")
+	}
+	if math.Abs(iv.Width()-0.2) > 1e-12 {
+		t.Errorf("Width = %v", iv.Width())
+	}
+	if math.Abs(iv.Midpoint()-0.2) > 1e-12 {
+		t.Errorf("Midpoint = %v", iv.Midpoint())
+	}
+	p := Point(0.5)
+	if p.Lo != 0.5 || p.Hi != 0.5 {
+		t.Error("Point wrong")
+	}
+}
+
+func TestWindowClosedForms(t *testing.T) {
+	// SC: all mass at 0.
+	if v, err := SCWindow(0); err != nil || v != 1 {
+		t.Errorf("SCWindow(0) = %v, %v", v, err)
+	}
+	if v, err := SCWindow(3); err != nil || v != 0 {
+		t.Errorf("SCWindow(3) = %v, %v", v, err)
+	}
+	// WO: 2/3, then 2^-γ/3; must sum to 1.
+	sum := 0.0
+	for gamma := 0; gamma <= 60; gamma++ {
+		v, err := WOWindow(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("WO window mass = %v", sum)
+	}
+	// TSO: 2/3 at zero; interval widths shrink like 2^-γ.
+	iv, err := TSOWindow(0)
+	if err != nil || iv.Lo != 2.0/3.0 || iv.Hi != 2.0/3.0 {
+		t.Errorf("TSOWindow(0) = %+v, %v", iv, err)
+	}
+	iv1, err := TSOWindow(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv1.Lo != (6.0/7.0)/4 {
+		t.Errorf("TSOWindow(1).Lo = %v", iv1.Lo)
+	}
+	if math.Abs(iv1.Width()-TSORemainderBound/2) > 1e-15 {
+		t.Errorf("TSOWindow(1) width = %v", iv1.Width())
+	}
+	// Domain checks.
+	if _, err := SCWindow(-1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("SCWindow(-1) accepted")
+	}
+	if _, err := WOWindow(-1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("WOWindow(-1) accepted")
+	}
+	if _, err := TSOWindow(-1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("TSOWindow(-1) accepted")
+	}
+}
+
+func TestWindowInterval(t *testing.T) {
+	for _, name := range []string{"SC", "TSO", "WO"} {
+		iv, err := WindowInterval(name, 2)
+		if err != nil {
+			t.Errorf("WindowInterval(%s): %v", name, err)
+			continue
+		}
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+			t.Errorf("WindowInterval(%s) = %+v", name, iv)
+		}
+	}
+	if _, err := WindowInterval("PSO", 1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("PSO closed form claimed to exist")
+	}
+}
+
+func TestTSOWindowAgainstExactDP(t *testing.T) {
+	// The DP ground truth must fall inside the paper's TSO interval for
+	// every γ (finite-m slack included).
+	pmf, err := settle.ExactWindowDist(memmodel.TSO(), 16, 0.5, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gamma := 0; gamma <= 9; gamma++ {
+		iv, err := TSOWindow(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := pmf.At(gamma)
+		if got < iv.Lo-2e-4 || got > iv.Hi+2e-4 {
+			t.Errorf("γ=%d: DP %v outside paper interval [%v, %v]",
+				gamma, got, iv.Lo, iv.Hi)
+		}
+	}
+}
+
+func TestLemma42(t *testing.T) {
+	if Lemma42L0 != 1.0/3.0 {
+		t.Error("Lemma42L0 wrong")
+	}
+	if _, err := Lemma42Lower(0); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("µ=0 accepted")
+	}
+	// h(1) = 4/7 exactly; h is increasing; bound = h(1)·2^-µ ≤ h(µ)·2^-µ.
+	h1, err := Lemma42H(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h1-4.0/7.0) > 1e-12 {
+		t.Errorf("h(1) = %v, want 4/7", h1)
+	}
+	prev := h1
+	for mu := 2; mu <= 12; mu++ {
+		h, err := Lemma42H(mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h < prev {
+			t.Errorf("h(%d) = %v < h(%d) = %v: not increasing", mu, h, mu-1, prev)
+		}
+		prev = h
+		lower, err := Lemma42Lower(mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := (4.0 / 7.0) * math.Pow(2, -float64(mu)); math.Abs(lower-want) > 1e-15 {
+			t.Errorf("Lemma42Lower(%d) = %v, want %v", mu, lower, want)
+		}
+	}
+}
+
+func TestLemma42AgainstExactDP(t *testing.T) {
+	pmf, err := settle.ExactContiguousStoreDist(memmodel.TSO(), 16, 0.5, 0.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pmf.At(0); math.Abs(got-Lemma42L0) > 1e-3 {
+		t.Errorf("Pr[L_0] = %v, want %v", got, Lemma42L0)
+	}
+	for mu := 1; mu <= 9; mu++ {
+		lower, err := Lemma42Lower(mu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := pmf.At(mu); got < lower-1e-4 {
+			t.Errorf("Pr[L_%d] = %v below bound %v", mu, got, lower)
+		}
+	}
+}
+
+func TestClaim43(t *testing.T) {
+	if _, err := Claim43Finite(0); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("round 0 accepted")
+	}
+	v1, err := Claim43Finite(1)
+	if err != nil || math.Abs(v1-0.5) > 1e-15 {
+		t.Errorf("Claim43Finite(1) = %v, want 1/2", v1)
+	}
+	v20, err := Claim43Finite(20)
+	if err != nil || math.Abs(v20-Claim43Limit) > 1e-9 {
+		t.Errorf("Claim43Finite(20) = %v, want →2/3", v20)
+	}
+	// Recurrence check: X_i = 1/2 + X_{i-1}/4.
+	for i := 2; i <= 15; i++ {
+		xi, err := Claim43Finite(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := Claim43Finite(i - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(xi-(0.5+prev/4)) > 1e-12 {
+			t.Errorf("recurrence fails at i=%d", i)
+		}
+	}
+}
+
+func TestPsiPMFNormalizes(t *testing.T) {
+	for mu := 1; mu <= 8; mu++ {
+		sum := 0.0
+		for q := 0; q <= 200; q++ {
+			v, err := PsiPMF(mu, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("Σ_q Pr[Ψ_%d = q] = %v, want 1", mu, sum)
+		}
+	}
+	if _, err := PsiPMF(0, 1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("µ=0 accepted")
+	}
+	if _, err := PsiPMF(1, -1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("q=-1 accepted")
+	}
+}
+
+func TestClaim44ExactDominatesLower(t *testing.T) {
+	for mu := 1; mu <= 7; mu++ {
+		for q := 0; q <= 7; q++ {
+			exact, err := Claim44Exact(mu, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lower, err := Claim44Lower(mu, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact < lower-1e-12 {
+				t.Errorf("Claim 4.4 violated at µ=%d q=%d: exact %v < lower %v",
+					mu, q, exact, lower)
+			}
+			if exact > 1+1e-12 {
+				t.Errorf("Claim44Exact(%d,%d) = %v > 1", mu, q, exact)
+			}
+		}
+	}
+}
+
+func TestClaim44ExactIsProbability(t *testing.T) {
+	// Direct semantic check for µ=1, q=1: one LD below one ST; F_1 needs
+	// the LD to settle past the single ST: probability 1/2 (δ=1 is forced,
+	// 2^-1).
+	v, err := Claim44Exact(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("Claim44Exact(1,1) = %v, want 1/2", v)
+	}
+}
+
+func TestSegmentMGFClosedForms(t *testing.T) {
+	// SC: E[2^-Γ] = 2^-2 = 1/4.
+	if SegmentMGFSC != 0.25 {
+		t.Error("SegmentMGFSC wrong")
+	}
+	// WO: 7/36 (from the Theorem 6.2 proof).
+	if math.Abs(SegmentMGFWO-7.0/36.0) > 1e-15 {
+		t.Error("SegmentMGFWO wrong")
+	}
+	// TSO interval: consistent with Theorem 6.2 via Pr[A] = (2/3)·E.
+	tso := SegmentMGFTSO()
+	prA := TwoThreadPrA(tso)
+	want := Theorem62TSO()
+	if math.Abs(prA.Lo-want.Lo) > 1e-12 || math.Abs(prA.Hi-want.Hi) > 1e-12 {
+		t.Errorf("TwoThreadPrA(SegmentMGFTSO()) = %+v, want %+v", prA, want)
+	}
+}
+
+func TestSegmentMGFFromPMF(t *testing.T) {
+	// Degenerate SC PMF: all mass at γ=0 → E[2^-Γ] = 1/4 exactly.
+	pmf, err := dist.NewPMF([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := SegmentMGF(pmf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 0.25 || iv.Hi != 0.25 {
+		t.Errorf("SC MGF = %+v", iv)
+	}
+	if _, err := SegmentMGF(nil); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("nil PMF accepted")
+	}
+}
+
+func TestSegmentMGFTailBracket(t *testing.T) {
+	// PMF with half its mass untabulated: interval must bracket any
+	// completion of the distribution.
+	pmf, err := dist.NewPMF([]float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := SegmentMGF(pmf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo != 0.125 {
+		t.Errorf("Lo = %v, want 0.125", iv.Lo)
+	}
+	// Max completion: all tail at γ=1 contributes 0.5·2^-3 = 0.0625.
+	if iv.Hi < 0.125+0.0625-1e-12 {
+		t.Errorf("Hi = %v too small to bracket tail at γ=1", iv.Hi)
+	}
+}
+
+func TestTheorem62Constants(t *testing.T) {
+	if math.Abs(Theorem62SC-1.0/6.0) > 1e-15 {
+		t.Error("Theorem62SC wrong")
+	}
+	if math.Abs(Theorem62WO-7.0/54.0) > 1e-15 {
+		t.Error("Theorem62WO wrong")
+	}
+	tso := Theorem62TSO()
+	if !(tso.Lo > 0.1315 && tso.Lo < 0.1316) {
+		t.Errorf("TSO lower %v, paper says > 0.1315", tso.Lo)
+	}
+	if !(tso.Hi < 0.1369 && tso.Hi > 0.1368) {
+		t.Errorf("TSO upper %v, paper says < 0.1369", tso.Hi)
+	}
+	// Ordering: SC > TSO > WO, and SC/WO = 9/7.
+	if !(Theorem62SC > tso.Hi && tso.Lo > Theorem62WO) {
+		t.Error("Theorem 6.2 ordering violated")
+	}
+	if math.Abs(Theorem62SC/Theorem62WO-9.0/7.0) > 1e-12 {
+		t.Errorf("SC/WO ratio = %v, want 9/7", Theorem62SC/Theorem62WO)
+	}
+}
+
+func TestTheorem62ViaWindowPMFs(t *testing.T) {
+	// Route the closed-form window PMFs through SegmentMGF → TwoThreadPrA
+	// and confirm the paper's constants drop out.
+	woMass := make([]float64, 40)
+	for gamma := range woMass {
+		v, err := WOWindow(gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		woMass[gamma] = v
+	}
+	woPMF, err := dist.NewPMF(woMass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgf, err := SegmentMGF(woPMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prA := TwoThreadPrA(mgf)
+	if math.Abs(prA.Lo-Theorem62WO) > 1e-9 || math.Abs(prA.Hi-Theorem62WO) > 1e-6 {
+		t.Errorf("WO via PMF = %+v, want %v", prA, Theorem62WO)
+	}
+}
+
+func TestSCPrA(t *testing.T) {
+	if _, err := SCPrA(1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("n=1 accepted")
+	}
+	// n=2 must give 1/6.
+	v, err := SCPrA(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.0/6.0) > 1e-12 {
+		t.Errorf("SCPrA(2) = %v, want 1/6", v)
+	}
+	// Log form must agree where both are finite.
+	for n := 2; n <= 12; n++ {
+		p, err := SCPrA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := SCLogPrA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(math.Log(p)-lp) > 1e-9 {
+			t.Errorf("n=%d: log mismatch %v vs %v", n, math.Log(p), lp)
+		}
+	}
+}
+
+func TestTheorem63RateConvergence(t *testing.T) {
+	// −ln Pr[A]/n² under SC must converge to (3/2)·ln2.
+	var prevGap float64 = math.Inf(1)
+	for _, n := range []int{4, 8, 16, 32, 64} {
+		lp, err := SCLogPrA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate, err := Theorem63Rate(lp, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gap := math.Abs(rate - Theorem63AsymptoticRate)
+		if gap > prevGap+1e-9 {
+			t.Errorf("n=%d: rate gap %v not shrinking (prev %v)", n, gap, prevGap)
+		}
+		prevGap = gap
+	}
+	if prevGap > 0.2 {
+		t.Errorf("rate gap at n=64 still %v", prevGap)
+	}
+}
+
+func TestAnyModelLowerBound(t *testing.T) {
+	// The any-model lower bound must sit below the SC value (SC maximizes
+	// Pr[A]) and still decay like e^{-Θ(n²)}.
+	for n := 2; n <= 20; n++ {
+		lower, err := AnyModelLogPrALower(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := SCLogPrA(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lower > sc {
+			t.Errorf("n=%d: lower bound %v above SC %v", n, lower, sc)
+		}
+		if diff := sc - lower; math.Abs(diff-float64(n-1)*math.Ln2) > 1e-9 {
+			t.Errorf("n=%d: gap %v, want (n-1)ln2", n, diff)
+		}
+	}
+	if _, err := AnyModelLogPrALower(1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestTheorem63RateValidation(t *testing.T) {
+	if _, err := Theorem63Rate(-1, 1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Theorem63Rate(0.5, 3); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("positive logPrA accepted")
+	}
+}

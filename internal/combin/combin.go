@@ -1,0 +1,215 @@
+// Package combin provides the exact combinatorics the paper's proofs rest
+// on: binomial coefficients (the Ψ_µ distribution in Step 2 of Lemma 4.2),
+// bounded partition counts φ(x, y, z) (Step 4, Claim 4.4), factorials and
+// Stirling's approximation (Theorem 6.3), and permutation enumeration (the
+// symmetric-group sum in Theorem 5.1).
+package combin
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"sync"
+)
+
+// ErrOutOfDomain reports arguments outside a function's domain.
+var ErrOutOfDomain = errors.New("combin: argument out of domain")
+
+// Binomial returns C(n, k) as a float64. It returns 0 for k < 0 or k > n,
+// matching the conventions used in the paper's sums. n must be ≥ 0.
+func Binomial(n, k int) float64 {
+	if n < 0 {
+		return 0
+	}
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	// Multiplicative formula keeps intermediate values small and exact for
+	// the ranges the experiments use (n well below overflow territory).
+	result := 1.0
+	for i := 1; i <= k; i++ {
+		result = result * float64(n-k+i) / float64(i)
+	}
+	return result
+}
+
+// BinomialBig returns C(n, k) exactly as a big.Int. It returns 0 for k < 0
+// or k > n, and an error for n < 0.
+func BinomialBig(n, k int) (*big.Int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: BinomialBig(n=%d)", ErrOutOfDomain, n)
+	}
+	if k < 0 || k > n {
+		return big.NewInt(0), nil
+	}
+	return new(big.Int).Binomial(int64(n), int64(k)), nil
+}
+
+// Factorial returns n! as a float64 (exact up to n = 22, then IEEE-rounded;
+// +Inf past n = 170). n must be ≥ 0; negative n returns NaN.
+func Factorial(n int) float64 {
+	if n < 0 {
+		return math.NaN()
+	}
+	result := 1.0
+	for i := 2; i <= n; i++ {
+		result *= float64(i)
+	}
+	return result
+}
+
+// LogFactorial returns ln(n!) without overflow, via direct summation for
+// small n and the Stirling series for large n.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		return math.NaN()
+	}
+	if n < 2 {
+		return 0
+	}
+	if n < 256 {
+		sum := 0.0
+		for i := 2; i <= n; i++ {
+			sum += math.Log(float64(i))
+		}
+		return sum
+	}
+	// Stirling series: ln n! = n ln n − n + ½ln(2πn) + 1/(12n) − 1/(360n³).
+	x := float64(n)
+	return x*math.Log(x) - x + 0.5*math.Log(2*math.Pi*x) +
+		1/(12*x) - 1/(360*x*x*x)
+}
+
+// StirlingApprox returns the leading Stirling approximation √(2πn)(n/e)^n.
+// The paper invokes it in the Theorem 6.3 proof to show n! = e^{n²·o(1)}.
+func StirlingApprox(n int) float64 {
+	if n <= 0 {
+		return math.NaN()
+	}
+	x := float64(n)
+	return math.Sqrt(2*math.Pi*x) * math.Pow(x/math.E, x)
+}
+
+// partitionKey indexes the memoized bounded-partition table.
+type partitionKey struct{ x, y, z int }
+
+var (
+	partitionMu    sync.Mutex
+	partitionCache = make(map[partitionKey]*big.Int)
+)
+
+// BoundedPartitions returns φ(x, y, z): the number of distinct multisets of
+// exactly y positive integers summing to x, each integer at most z. This is
+// the quantity Step 4 of the TSO proof (Claim 4.4) expresses Pr[Δ = δ] in
+// terms of: φ(δ, q, µ) counts arrangements of q LDs below µ STs with total
+// displacement δ.
+//
+// Results are memoized; the function is safe for concurrent use.
+func BoundedPartitions(x, y, z int) (*big.Int, error) {
+	if x < 0 || y < 0 || z < 0 {
+		return nil, fmt.Errorf("%w: BoundedPartitions(%d, %d, %d)", ErrOutOfDomain, x, y, z)
+	}
+	return boundedPartitions(x, y, z), nil
+}
+
+// boundedPartitions implements the recurrence
+//
+//	φ(x, y, z) = φ(x−y, y, z−1) + φ(x−1, y−1, z)   [parts all ≥ 2 shifted down | one part = 1]
+//
+// split on whether the smallest part equals 1: removing a part equal to 1
+// leaves φ(x−1, y−1, z); if all parts are ≥ 2, subtracting 1 from every part
+// leaves y parts summing to x−y, each at most z−1.
+func boundedPartitions(x, y, z int) *big.Int {
+	switch {
+	case y == 0:
+		if x == 0 {
+			return big.NewInt(1)
+		}
+		return big.NewInt(0)
+	case x < y || x > y*z:
+		// Too small for y positive parts, or too large for y parts ≤ z.
+		return big.NewInt(0)
+	}
+	key := partitionKey{x, y, z}
+	partitionMu.Lock()
+	if v, ok := partitionCache[key]; ok {
+		partitionMu.Unlock()
+		return v
+	}
+	partitionMu.Unlock()
+
+	result := new(big.Int).Add(
+		boundedPartitions(x-y, y, z-1),
+		boundedPartitions(x-1, y-1, z),
+	)
+
+	partitionMu.Lock()
+	partitionCache[key] = result
+	partitionMu.Unlock()
+	return result
+}
+
+// BoundedPartitionsFloat returns φ(x, y, z) as a float64 for use inside
+// probability sums.
+func BoundedPartitionsFloat(x, y, z int) (float64, error) {
+	v, err := BoundedPartitions(x, y, z)
+	if err != nil {
+		return 0, err
+	}
+	f, _ := new(big.Float).SetInt(v).Float64()
+	return f, nil
+}
+
+// Permutations calls fn with every permutation of [0, n) using Heap's
+// algorithm. The slice passed to fn is reused between calls; fn must not
+// retain it. If fn returns false, enumeration stops early. n must be ≥ 0
+// and small enough to enumerate (n ≤ 12 is enforced to prevent accidental
+// factorial blowups; Theorem 5.1 sums need n ≤ 9).
+func Permutations(n int, fn func(perm []int) bool) error {
+	if n < 0 || n > 12 {
+		return fmt.Errorf("%w: Permutations(n=%d), need 0 ≤ n ≤ 12", ErrOutOfDomain, n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	if n == 0 {
+		fn(perm)
+		return nil
+	}
+	// Heap's algorithm, iterative form.
+	c := make([]int, n)
+	if !fn(perm) {
+		return nil
+	}
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				perm[0], perm[i] = perm[i], perm[0]
+			} else {
+				perm[c[i]], perm[i] = perm[i], perm[c[i]]
+			}
+			if !fn(perm) {
+				return nil
+			}
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+	return nil
+}
+
+// CompositionsWithLeadingStore counts the arrangements of y LDs and µ STs
+// whose top instruction is a ST: C(µ+y−1, y). This is the normalizing count
+// in the Ψ_µ distribution, Pr[Ψ_µ = q] = 2^-µ · 2^-q · C(µ+q−1, q).
+func CompositionsWithLeadingStore(mu, y int) float64 {
+	return Binomial(mu+y-1, y)
+}

@@ -1,0 +1,326 @@
+package combin
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialTable(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {1, 0, 1}, {1, 1, 1}, {5, 2, 10}, {10, 5, 252},
+		{20, 10, 184756}, {4, 5, 0}, {4, -1, 0}, {-1, 0, 0},
+		{52, 5, 2598960},
+	}
+	for _, tc := range cases {
+		if got := Binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("Binomial(%d,%d) = %v, want %v", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestBinomialSymmetry(t *testing.T) {
+	f := func(n, k uint8) bool {
+		nn := int(n % 40)
+		kk := int(k % 40)
+		return Binomial(nn, kk) == Binomial(nn, nn-kk) || kk > nn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialPascal(t *testing.T) {
+	for n := 1; n < 30; n++ {
+		for k := 1; k < n; k++ {
+			lhs := Binomial(n, k)
+			rhs := Binomial(n-1, k-1) + Binomial(n-1, k)
+			if math.Abs(lhs-rhs) > 1e-6*math.Max(1, lhs) {
+				t.Fatalf("Pascal fails at (%d,%d): %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestBinomialBig(t *testing.T) {
+	v, err := BinomialBig(100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, ok := new(big.Int).SetString("100891344545564193334812497256", 10)
+	if !ok {
+		t.Fatal("bad literal")
+	}
+	if v.Cmp(want) != 0 {
+		t.Errorf("BinomialBig(100,50) = %v, want %v", v, want)
+	}
+	if z, err := BinomialBig(5, 9); err != nil || z.Sign() != 0 {
+		t.Errorf("BinomialBig(5,9) = %v, %v", z, err)
+	}
+	if _, err := BinomialBig(-1, 0); !errors.Is(err, ErrOutOfDomain) {
+		t.Errorf("BinomialBig(-1,0) err = %v", err)
+	}
+}
+
+func TestFactorial(t *testing.T) {
+	want := []float64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(n); got != w {
+			t.Errorf("Factorial(%d) = %v, want %v", n, got, w)
+		}
+	}
+	if !math.IsNaN(Factorial(-1)) {
+		t.Error("Factorial(-1) not NaN")
+	}
+}
+
+func TestLogFactorialConsistency(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 20, 100, 255, 256, 1000, 10000} {
+		got := LogFactorial(n)
+		// Independent check: lgamma(n+1).
+		want, _ := math.Lgamma(float64(n) + 1)
+		if math.Abs(got-want) > 1e-8*math.Max(1, math.Abs(want)) {
+			t.Errorf("LogFactorial(%d) = %v, want %v", n, got, want)
+		}
+	}
+	if !math.IsNaN(LogFactorial(-3)) {
+		t.Error("LogFactorial(-3) not NaN")
+	}
+}
+
+func TestStirlingApprox(t *testing.T) {
+	for _, n := range []int{1, 5, 10, 20} {
+		ratio := StirlingApprox(n) / Factorial(n)
+		// Stirling underestimates; ratio in (0.9, 1).
+		if ratio <= 0.9 || ratio >= 1 {
+			t.Errorf("Stirling(%d)/n! = %v out of (0.9, 1)", n, ratio)
+		}
+	}
+	if !math.IsNaN(StirlingApprox(0)) {
+		t.Error("StirlingApprox(0) not NaN")
+	}
+}
+
+func TestBoundedPartitionsSmall(t *testing.T) {
+	cases := []struct {
+		x, y, z int
+		want    int64
+	}{
+		// φ(x, y, z): multisets of y positive integers ≤ z summing to x.
+		{0, 0, 0, 1},
+		{1, 1, 1, 1},
+		{2, 1, 1, 0},  // one part ≤ 1 cannot sum to 2
+		{2, 2, 1, 1},  // 1+1
+		{3, 2, 2, 1},  // 1+2
+		{4, 2, 2, 1},  // 2+2
+		{4, 2, 3, 2},  // 1+3, 2+2
+		{5, 2, 4, 2},  // 1+4, 2+3
+		{10, 3, 4, 2}, // 2+4+4, 3+3+4
+	}
+	for _, tc := range cases {
+		got, err := BoundedPartitions(tc.x, tc.y, tc.z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != tc.want {
+			t.Errorf("φ(%d,%d,%d) = %v, want %d", tc.x, tc.y, tc.z, got, tc.want)
+		}
+		if bf := bruteForcePartitions(tc.x, tc.y, tc.z); got.Int64() != bf {
+			t.Errorf("φ(%d,%d,%d) = %v, brute force %d", tc.x, tc.y, tc.z, got, bf)
+		}
+	}
+}
+
+// bruteForcePartitions counts multisets of y integers in [1,z] summing to x
+// by enumerating non-decreasing sequences.
+func bruteForcePartitions(x, y, z int) int64 {
+	var count int64
+	var recur func(remaining, parts, minPart int)
+	recur = func(remaining, parts, minPart int) {
+		if parts == 0 {
+			if remaining == 0 {
+				count++
+			}
+			return
+		}
+		for v := minPart; v <= z && v <= remaining; v++ {
+			recur(remaining-v, parts-1, v)
+		}
+	}
+	recur(x, y, 1)
+	return count
+}
+
+func TestBoundedPartitionsAgainstBruteForce(t *testing.T) {
+	for x := 0; x <= 18; x++ {
+		for y := 0; y <= 6; y++ {
+			for z := 0; z <= 6; z++ {
+				got, err := BoundedPartitions(x, y, z)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := bruteForcePartitions(x, y, z)
+				if got.Int64() != want {
+					t.Fatalf("φ(%d,%d,%d) = %v, want %d", x, y, z, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundedPartitionsPaperLowerBound(t *testing.T) {
+	// Claim 4.4's key fact: φ(δ, q, µ) ≥ 1 whenever q ≤ δ ≤ µq.
+	for q := 1; q <= 8; q++ {
+		for mu := 1; mu <= 8; mu++ {
+			for delta := q; delta <= mu*q; delta++ {
+				v, err := BoundedPartitions(delta, q, mu)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Sign() < 1 {
+					t.Fatalf("φ(%d,%d,%d) = %v < 1, contradicting Claim 4.4", delta, q, mu, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundedPartitionsDomain(t *testing.T) {
+	if _, err := BoundedPartitions(-1, 0, 0); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("negative x accepted")
+	}
+	if _, err := BoundedPartitions(0, -1, 0); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("negative y accepted")
+	}
+	if _, err := BoundedPartitions(0, 0, -1); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("negative z accepted")
+	}
+}
+
+func TestBoundedPartitionsFloat(t *testing.T) {
+	f, err := BoundedPartitionsFloat(10, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != float64(bruteForcePartitions(10, 3, 4)) {
+		t.Errorf("float mismatch: %v", f)
+	}
+}
+
+func TestPermutationsCountsFactorial(t *testing.T) {
+	for n := 0; n <= 7; n++ {
+		count := 0
+		err := Permutations(n, func(p []int) bool {
+			count++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(Factorial(n))
+		if n == 0 {
+			want = 1
+		}
+		if count != want {
+			t.Errorf("Permutations(%d) visited %d, want %d", n, count, want)
+		}
+	}
+}
+
+func TestPermutationsDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	err := Permutations(5, func(p []int) bool {
+		key := ""
+		for _, v := range p {
+			key += string(rune('0' + v))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate permutation %s", key)
+		}
+		seen[key] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 120 {
+		t.Fatalf("saw %d distinct permutations, want 120", len(seen))
+	}
+}
+
+func TestPermutationsEarlyStop(t *testing.T) {
+	count := 0
+	err := Permutations(6, func(p []int) bool {
+		count++
+		return count < 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestPermutationsDomain(t *testing.T) {
+	if err := Permutations(13, func([]int) bool { return true }); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("n=13 accepted")
+	}
+	if err := Permutations(-1, func([]int) bool { return true }); !errors.Is(err, ErrOutOfDomain) {
+		t.Error("n=-1 accepted")
+	}
+}
+
+func TestCompositionsWithLeadingStore(t *testing.T) {
+	// Strings of µ STs and q LDs whose first symbol is ST: choose positions
+	// of the q LDs among the remaining µ+q−1 slots.
+	for mu := 1; mu <= 6; mu++ {
+		for q := 0; q <= 6; q++ {
+			got := CompositionsWithLeadingStore(mu, q)
+			want := Binomial(mu+q-1, q)
+			if got != want {
+				t.Errorf("CompositionsWithLeadingStore(%d,%d) = %v, want %v", mu, q, got, want)
+			}
+			// Cross-check by brute force enumeration of binary strings.
+			count := 0
+			total := mu + q
+			for mask := 0; mask < 1<<uint(total); mask++ {
+				ones := 0
+				for b := 0; b < total; b++ {
+					if mask&(1<<uint(b)) != 0 {
+						ones++
+					}
+				}
+				// bit set = LD; first symbol (bit 0) must be ST.
+				if ones == q && mask&1 == 0 {
+					count++
+				}
+			}
+			if float64(count) != got {
+				t.Errorf("brute force (%d,%d) = %d, formula %v", mu, q, count, got)
+			}
+		}
+	}
+}
+
+func BenchmarkBoundedPartitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := BoundedPartitions(60, 10, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPermutations8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		count := 0
+		if err := Permutations(8, func(p []int) bool { count++; return true }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

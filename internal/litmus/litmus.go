@@ -1,0 +1,380 @@
+// Package litmus is a herd/litmus7-style harness over the machine
+// simulator: named litmus tests with a distinguished "relaxed" target
+// outcome, per-model allowed/forbidden expectations, exhaustive outcome
+// enumeration, and randomized frequency measurement.
+//
+// The registry covers the canonical shapes (SB, MP, LB, 2+2W, CoRR, IRIW)
+// plus the paper's §2.2 increment race. Expectations are for a
+// store-atomic machine — the paper explicitly sets store-atomicity aside
+// (§2.1), so IRIW's relaxed outcome is reachable only via LD/LD reordering
+// (WO), not via non-atomic store propagation.
+package litmus
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"memreliability/internal/machine"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+// ErrUnknownTest reports a test name not in the registry.
+var ErrUnknownTest = errors.New("litmus: unknown test")
+
+// ErrBadTest reports an invalid test definition.
+var ErrBadTest = errors.New("litmus: bad test")
+
+// Condition is a conjunction of equalities over outcome references
+// (machine.Outcome.Lookup syntax: "addr" or "t<i>:<reg>").
+type Condition map[string]int
+
+// Holds reports whether the outcome satisfies the condition.
+func (c Condition) Holds(o machine.Outcome) (bool, error) {
+	for ref, want := range c {
+		got, err := o.Lookup(ref)
+		if err != nil {
+			return false, fmt.Errorf("litmus: %w", err)
+		}
+		if got != want {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// String renders the condition deterministically.
+func (c Condition) String() string {
+	refs := make([]string, 0, len(c))
+	for ref := range c {
+		refs = append(refs, ref)
+	}
+	sort.Strings(refs)
+	s := ""
+	for i, ref := range refs {
+		if i > 0 {
+			s += " ∧ "
+		}
+		s += fmt.Sprintf("%s=%d", ref, c[ref])
+	}
+	return s
+}
+
+// Test is one litmus test.
+type Test struct {
+	// Name is the conventional test mnemonic.
+	Name string
+	// Description says what relaxation the test witnesses.
+	Description string
+	// Prog is the machine program.
+	Prog machine.Program
+	// Target is the interesting (usually relaxed) outcome.
+	Target Condition
+	// AllowedUnder maps model names to whether Target is reachable.
+	AllowedUnder map[string]bool
+}
+
+// Registry returns the built-in tests in a stable order.
+func Registry() []Test {
+	st := func(addr string, v int) machine.Op { return machine.StoreOp{Addr: addr, Src: machine.Imm(v)} }
+	ld := func(addr, dst string) machine.Op { return machine.LoadOp{Addr: addr, Dst: dst} }
+	init2 := map[string]int{"x": 0, "y": 0}
+
+	incThread := machine.Thread{Ops: []machine.Op{
+		machine.LoadOp{Addr: "x", Dst: "r"},
+		machine.AddOp{Dst: "r", A: machine.Reg("r"), B: machine.Imm(1)},
+		machine.StoreOp{Addr: "x", Src: machine.Reg("r")},
+	}}
+
+	return []Test{
+		{
+			Name:        "SB",
+			Description: "store buffering: both loads read the initial value (ST→LD reordering)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 1), ld("y", "r1")}},
+					{Ops: []machine.Op{st("y", 1), ld("x", "r2")}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"t0:r1": 0, "t1:r2": 0},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": true, "PSO": true, "WO": true,
+			},
+		},
+		{
+			Name:        "MP",
+			Description: "message passing: stale data after seeing the flag (ST→ST or LD→LD reordering)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 1), st("y", 1)}},
+					{Ops: []machine.Op{ld("y", "r1"), ld("x", "r2")}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"t1:r1": 1, "t1:r2": 0},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": true, "WO": true,
+			},
+		},
+		{
+			Name:        "LB",
+			Description: "load buffering: both loads see the other thread's later store (LD→ST reordering)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{ld("x", "r1"), st("y", 1)}},
+					{Ops: []machine.Op{ld("y", "r2"), st("x", 1)}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"t0:r1": 1, "t1:r2": 1},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": false, "WO": true,
+			},
+		},
+		{
+			Name:        "2+2W",
+			Description: "two threads write both locations in opposite orders (ST→ST reordering)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 1), st("y", 2)}},
+					{Ops: []machine.Op{st("y", 1), st("x", 2)}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"x": 1, "y": 1},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": true, "WO": true,
+			},
+		},
+		{
+			Name:        "CoRR",
+			Description: "coherence of read-read: same-location loads must not reorder (forbidden everywhere)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 1)}},
+					{Ops: []machine.Op{ld("x", "r1"), ld("x", "r2")}},
+				},
+				Init: map[string]int{"x": 0},
+			},
+			Target: Condition{"t1:r1": 1, "t1:r2": 0},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": false, "WO": false,
+			},
+		},
+		{
+			Name: "IRIW",
+			Description: "independent reads of independent writes; reachable here only via LD→LD " +
+				"reordering (store-atomic machine, per the paper's §2.1 scope)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 1)}},
+					{Ops: []machine.Op{st("y", 1)}},
+					{Ops: []machine.Op{ld("x", "r1"), ld("y", "r2")}},
+					{Ops: []machine.Op{ld("y", "r3"), ld("x", "r4")}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"t2:r1": 1, "t2:r2": 0, "t3:r3": 1, "t3:r4": 0},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": false, "WO": true,
+			},
+		},
+		{
+			Name:        "R",
+			Description: "write-to-read causality: requires ST→ST or ST→LD reordering",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 1), st("y", 1)}},
+					{Ops: []machine.Op{st("y", 2), ld("x", "r1")}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"y": 2, "t1:r1": 0},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": true, "PSO": true, "WO": true,
+			},
+		},
+		{
+			Name:        "S",
+			Description: "write subsumption: requires ST→ST reordering (PSO's distinguishing shape)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 2), st("y", 1)}},
+					{Ops: []machine.Op{ld("y", "r1"), st("x", 1)}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"x": 2, "t1:r1": 1},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": true, "WO": true,
+			},
+		},
+		{
+			Name: "LB+deps",
+			Description: "load buffering with a data dependency (ST value comes from the LD): " +
+				"forbidden everywhere — register dependencies survive even WO",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{ld("x", "r1"), machine.StoreOp{Addr: "y", Src: machine.Reg("r1")}}},
+					{Ops: []machine.Op{ld("y", "r2"), machine.StoreOp{Addr: "x", Src: machine.Reg("r2")}}},
+				},
+				Init: map[string]int{"x": 0, "y": 0},
+			},
+			Target: Condition{"t0:r1": 1, "t1:r2": 1},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": false, "WO": false,
+			},
+		},
+		{
+			Name:        "MP+fences",
+			Description: "message passing with full fences: forbidden everywhere (§7 fence semantics)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 1), machine.FenceOp{Kind: memmodel.FenceFull}, st("y", 1)}},
+					{Ops: []machine.Op{ld("y", "r1"), machine.FenceOp{Kind: memmodel.FenceFull}, ld("x", "r2")}},
+				},
+				Init: init2,
+			},
+			Target: Condition{"t1:r1": 1, "t1:r2": 0},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": false, "WO": false,
+			},
+		},
+		{
+			Name: "CoWR",
+			Description: "coherence of write-read: a thread's load after its own store must not " +
+				"read the initial value (forbidden everywhere)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{
+					{Ops: []machine.Op{st("x", 2), ld("x", "r1")}},
+					{Ops: []machine.Op{st("x", 1)}},
+				},
+				Init: map[string]int{"x": 0},
+			},
+			Target: Condition{"t0:r1": 0},
+			AllowedUnder: map[string]bool{
+				"SC": false, "TSO": false, "PSO": false, "WO": false,
+			},
+		},
+		{
+			Name:        "INC",
+			Description: "the §2.2 canonical atomicity violation: a lost increment (allowed even under SC)",
+			Prog: machine.Program{
+				Threads: []machine.Thread{incThread, incThread},
+				Init:    map[string]int{"x": 0},
+			},
+			Target: Condition{"x": 1},
+			AllowedUnder: map[string]bool{
+				"SC": true, "TSO": true, "PSO": true, "WO": true,
+			},
+		},
+	}
+}
+
+// ByName returns the registered test with the given name.
+func ByName(name string) (Test, error) {
+	for _, t := range Registry() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Test{}, fmt.Errorf("%w: %q", ErrUnknownTest, name)
+}
+
+// Result is the outcome of checking one test under one model.
+type Result struct {
+	Test  string
+	Model string
+	// Reachable reports whether the target outcome is reachable
+	// (exhaustive exploration).
+	Reachable bool
+	// Expected is the registry's expectation.
+	Expected bool
+	// Outcomes is the number of distinct reachable final states.
+	Outcomes int
+}
+
+// Conforms reports whether observation matched expectation.
+func (r Result) Conforms() bool { return r.Reachable == r.Expected }
+
+// Check exhaustively explores the test under the model and compares the
+// target's reachability against the expectation.
+func Check(t Test, model memmodel.Model) (Result, error) {
+	if t.Name == "" || len(t.Target) == 0 {
+		return Result{}, fmt.Errorf("%w: unnamed test or empty target", ErrBadTest)
+	}
+	outcomes, err := machine.Explore(t.Prog, model, machine.ExploreConfig{})
+	if err != nil {
+		return Result{}, fmt.Errorf("litmus: explore %s under %s: %w", t.Name, model.Name(), err)
+	}
+	reachable := false
+	for _, o := range outcomes {
+		ok, err := t.Target.Holds(o)
+		if err != nil {
+			return Result{}, err
+		}
+		if ok {
+			reachable = true
+			break
+		}
+	}
+	expected, known := t.AllowedUnder[model.Name()]
+	if !known {
+		return Result{}, fmt.Errorf("%w: test %s has no expectation for model %s",
+			ErrBadTest, t.Name, model.Name())
+	}
+	return Result{
+		Test:      t.Name,
+		Model:     model.Name(),
+		Reachable: reachable,
+		Expected:  expected,
+		Outcomes:  len(outcomes),
+	}, nil
+}
+
+// CheckAll runs every registered test under every canonical model.
+func CheckAll() ([]Result, error) {
+	var results []Result
+	for _, t := range Registry() {
+		for _, model := range memmodel.All() {
+			r, err := Check(t, model)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, r)
+		}
+	}
+	return results, nil
+}
+
+// TargetFrequency measures how often the target outcome occurs under a
+// uniform random scheduler, over the given number of runs.
+func TargetFrequency(t Test, model memmodel.Model, runs int, src *rng.Source) (float64, error) {
+	if runs <= 0 {
+		return 0, fmt.Errorf("%w: runs=%d", ErrBadTest, runs)
+	}
+	if src == nil {
+		return 0, fmt.Errorf("%w: nil rng source", ErrBadTest)
+	}
+	sim, err := machine.NewSim(t.Prog, model)
+	if err != nil {
+		return 0, fmt.Errorf("litmus: %w", err)
+	}
+	hits := 0
+	for i := 0; i < runs; i++ {
+		o, _, err := sim.RunRandom(src)
+		if err != nil {
+			return 0, fmt.Errorf("litmus: %w", err)
+		}
+		ok, err := t.Target.Holds(o)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(runs), nil
+}

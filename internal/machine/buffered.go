@@ -1,0 +1,330 @@
+// buffered.go implements TSO and PSO as Sequential Consistency plus
+// explicit write buffers — the textbook microarchitectural realization —
+// as an independent cross-check of the reorder-window semantics in
+// machine.go. For store-atomic machines the two are equivalent; the litmus
+// suite asserts that equivalence on every test.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+// sbEntry is one pending write in a store buffer.
+type sbEntry struct {
+	addr string
+	val  int
+}
+
+// bufKind selects the buffer organization.
+type bufKind int
+
+const (
+	// bufFIFO is a single FIFO per thread: writes drain in program order
+	// (TSO).
+	bufFIFO bufKind = iota + 1
+	// bufPerAddr is a FIFO per address: writes to distinct addresses may
+	// drain out of order (PSO).
+	bufPerAddr
+)
+
+// BufferedSim executes a program under SC-plus-store-buffer semantics.
+// Supported models: TSO (FIFO buffer) and PSO (per-address buffers).
+// Programs must not contain FenceOp other than FenceFull (hardware TSO/PSO
+// fences are full drains); RMWAddOp drains the buffer first, the standard
+// atomic semantics.
+type BufferedSim struct {
+	prog Program
+	kind bufKind
+	st   *bufState
+}
+
+type bufState struct {
+	mem  map[string]int
+	regs []map[string]int
+	pc   []int
+	bufs [][]sbEntry // program-order pending writes per thread
+}
+
+// NewBufferedSim returns a store-buffer simulator for the model, which must
+// be TSO or PSO.
+func NewBufferedSim(p Program, model memmodel.Model) (*BufferedSim, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var kind bufKind
+	switch model.Name() {
+	case "TSO":
+		kind = bufFIFO
+	case "PSO":
+		kind = bufPerAddr
+	default:
+		return nil, fmt.Errorf("%w: buffered semantics defined for TSO/PSO only, got %q",
+			ErrBadProgram, model.Name())
+	}
+	for ti, th := range p.Threads {
+		for oi, op := range th.Ops {
+			if f, ok := op.(FenceOp); ok && f.Kind != memmodel.FenceFull {
+				return nil, fmt.Errorf("%w: thread %d op %d: buffered semantics supports FULL fences only",
+					ErrBadProgram, ti, oi)
+			}
+		}
+	}
+	return &BufferedSim{prog: p, kind: kind, st: newBufState(p)}, nil
+}
+
+func newBufState(p Program) *bufState {
+	st := &bufState{
+		mem:  make(map[string]int, len(p.Init)),
+		regs: make([]map[string]int, len(p.Threads)),
+		pc:   make([]int, len(p.Threads)),
+		bufs: make([][]sbEntry, len(p.Threads)),
+	}
+	for k, v := range p.Init {
+		st.mem[k] = v
+	}
+	for ti := range p.Threads {
+		st.regs[ti] = make(map[string]int)
+	}
+	return st
+}
+
+func (st *bufState) clone() *bufState {
+	c := &bufState{
+		mem:  make(map[string]int, len(st.mem)),
+		regs: make([]map[string]int, len(st.regs)),
+		pc:   make([]int, len(st.pc)),
+		bufs: make([][]sbEntry, len(st.bufs)),
+	}
+	for k, v := range st.mem {
+		c.mem[k] = v
+	}
+	copy(c.pc, st.pc)
+	for ti := range st.regs {
+		c.regs[ti] = make(map[string]int, len(st.regs[ti]))
+		for k, v := range st.regs[ti] {
+			c.regs[ti][k] = v
+		}
+		c.bufs[ti] = make([]sbEntry, len(st.bufs[ti]))
+		copy(c.bufs[ti], st.bufs[ti])
+	}
+	return c
+}
+
+func (st *bufState) key() string {
+	var sb strings.Builder
+	keys := make([]string, 0, len(st.mem))
+	for k := range st.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d;", k, st.mem[k])
+	}
+	for ti := range st.regs {
+		fmt.Fprintf(&sb, "|t%d@%d:", ti, st.pc[ti])
+		rkeys := make([]string, 0, len(st.regs[ti]))
+		for k := range st.regs[ti] {
+			rkeys = append(rkeys, k)
+		}
+		sort.Strings(rkeys)
+		for _, k := range rkeys {
+			fmt.Fprintf(&sb, "%s=%d;", k, st.regs[ti][k])
+		}
+		sb.WriteByte('[')
+		for _, e := range st.bufs[ti] {
+			fmt.Fprintf(&sb, "%s=%d,", e.addr, e.val)
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+func (st *bufState) done(p Program) bool {
+	for ti := range p.Threads {
+		if st.pc[ti] < len(p.Threads[ti].Ops) || len(st.bufs[ti]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *bufState) outcome() Outcome {
+	o := Outcome{
+		Mem:  make(map[string]int, len(st.mem)),
+		Regs: make([]map[string]int, len(st.regs)),
+	}
+	for k, v := range st.mem {
+		o.Mem[k] = v
+	}
+	for ti := range st.regs {
+		o.Regs[ti] = make(map[string]int, len(st.regs[ti]))
+		for k, v := range st.regs[ti] {
+			o.Regs[ti][k] = v
+		}
+	}
+	return o
+}
+
+// bufAction is a scheduler choice in the buffered machine: either execute
+// thread's next instruction, or drain one pending write.
+type bufAction struct {
+	thread int
+	// drainIdx is -1 to execute the next instruction, otherwise the index
+	// within the thread's buffer to drain (always the oldest entry overall
+	// for FIFO; the oldest entry for some address under per-address).
+	drainIdx int
+}
+
+// forward returns the newest buffered value for addr, if any.
+func forward(buf []sbEntry, addr string) (int, bool) {
+	for i := len(buf) - 1; i >= 0; i-- {
+		if buf[i].addr == addr {
+			return buf[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// drainable returns the buffer indices eligible to drain next.
+func drainable(buf []sbEntry, kind bufKind) []int {
+	if len(buf) == 0 {
+		return nil
+	}
+	if kind == bufFIFO {
+		return []int{0}
+	}
+	// Per-address: the oldest entry of each distinct address.
+	var idxs []int
+	seen := make(map[string]bool)
+	for i, e := range buf {
+		if !seen[e.addr] {
+			seen[e.addr] = true
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+func (b *BufferedSim) enabled(st *bufState) []bufAction {
+	var actions []bufAction
+	for ti, th := range b.prog.Threads {
+		for _, di := range drainable(st.bufs[ti], b.kind) {
+			actions = append(actions, bufAction{thread: ti, drainIdx: di})
+		}
+		pc := st.pc[ti]
+		if pc >= len(th.Ops) {
+			continue
+		}
+		switch th.Ops[pc].(type) {
+		case FenceOp, RMWAddOp:
+			// Full fence / atomic: only executable with an empty buffer.
+			if len(st.bufs[ti]) == 0 {
+				actions = append(actions, bufAction{thread: ti, drainIdx: -1})
+			}
+		default:
+			actions = append(actions, bufAction{thread: ti, drainIdx: -1})
+		}
+	}
+	return actions
+}
+
+func (b *BufferedSim) exec(st *bufState, a bufAction) {
+	ti := a.thread
+	if a.drainIdx >= 0 {
+		e := st.bufs[ti][a.drainIdx]
+		st.mem[e.addr] = e.val
+		st.bufs[ti] = append(st.bufs[ti][:a.drainIdx], st.bufs[ti][a.drainIdx+1:]...)
+		return
+	}
+	op := b.prog.Threads[ti].Ops[st.pc[ti]]
+	regs := st.regs[ti]
+	switch o := op.(type) {
+	case LoadOp:
+		if v, ok := forward(st.bufs[ti], o.Addr); ok {
+			regs[o.Dst] = v // store-to-load forwarding from own buffer
+		} else {
+			regs[o.Dst] = st.mem[o.Addr]
+		}
+	case StoreOp:
+		st.bufs[ti] = append(st.bufs[ti], sbEntry{addr: o.Addr, val: evalOperand(regs, o.Src)})
+	case AddOp:
+		regs[o.Dst] = evalOperand(regs, o.A) + evalOperand(regs, o.B)
+	case FenceOp:
+		// Buffer already empty (enabledness condition).
+	case RMWAddOp:
+		old := st.mem[o.Addr]
+		regs[o.Dst] = old
+		st.mem[o.Addr] = old + o.Delta
+	}
+	st.pc[ti]++
+}
+
+// RunRandom executes to completion with uniform random scheduling.
+func (b *BufferedSim) RunRandom(src *rng.Source) (Outcome, error) {
+	if src == nil {
+		return Outcome{}, fmt.Errorf("%w: nil rng source", ErrBadProgram)
+	}
+	st := newBufState(b.prog)
+	steps := 0
+	for !st.done(b.prog) {
+		actions := b.enabled(st)
+		if len(actions) == 0 {
+			return Outcome{}, fmt.Errorf("%w: after %d steps", ErrStuck, steps)
+		}
+		b.exec(st, actions[src.Intn(len(actions))])
+		steps++
+	}
+	return st.outcome(), nil
+}
+
+// ExploreBuffered enumerates every reachable final outcome under the
+// store-buffer semantics.
+func ExploreBuffered(p Program, model memmodel.Model, cfg ExploreConfig) (map[string]Outcome, error) {
+	b, err := NewBufferedSim(p, model)
+	if err != nil {
+		return nil, err
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 20
+	}
+	outcomes := make(map[string]Outcome)
+	visited := make(map[string]bool)
+	var dfs func(st *bufState) error
+	dfs = func(st *bufState) error {
+		key := st.key()
+		if visited[key] {
+			return nil
+		}
+		if len(visited) >= maxStates {
+			return fmt.Errorf("%w: visited %d states", ErrTooLarge, len(visited))
+		}
+		visited[key] = true
+		if st.done(p) {
+			o := st.outcome()
+			outcomes[o.Key()] = o
+			return nil
+		}
+		actions := b.enabled(st)
+		if len(actions) == 0 {
+			return fmt.Errorf("%w: state %s", ErrStuck, key)
+		}
+		for _, a := range actions {
+			next := st.clone()
+			b.exec(next, a)
+			if err := dfs(next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(newBufState(p)); err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}

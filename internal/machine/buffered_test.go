@@ -1,0 +1,243 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+func TestNewBufferedSimValidation(t *testing.T) {
+	if _, err := NewBufferedSim(sbProgram(), memmodel.SC()); !errors.Is(err, ErrBadProgram) {
+		t.Error("SC buffered accepted")
+	}
+	if _, err := NewBufferedSim(sbProgram(), memmodel.WO()); !errors.Is(err, ErrBadProgram) {
+		t.Error("WO buffered accepted")
+	}
+	if _, err := NewBufferedSim(sbProgram(), memmodel.TSO()); err != nil {
+		t.Errorf("TSO buffered rejected: %v", err)
+	}
+	acqProg := Program{
+		Threads: []Thread{{Ops: []Op{FenceOp{Kind: memmodel.FenceAcquire}}}},
+	}
+	if _, err := NewBufferedSim(acqProg, memmodel.TSO()); !errors.Is(err, ErrBadProgram) {
+		t.Error("acquire fence accepted by buffered sim")
+	}
+}
+
+func TestBufferedTSOAllowsSB(t *testing.T) {
+	outcomes, err := ExploreBuffered(sbProgram(), memmodel.TSO(), ExploreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, o := range outcomes {
+		r1, err := o.Lookup("t0:r1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := o.Lookup("t1:r2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 == 0 && r2 == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("buffered TSO cannot reach the SB relaxed outcome")
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	// A thread must see its own buffered store: ST x=1; LD x → r must read
+	// 1 even while the store is still buffered.
+	p := Program{
+		Threads: []Thread{
+			{Ops: []Op{StoreOp{Addr: "x", Src: Imm(1)}, LoadOp{Addr: "x", Dst: "r"}}},
+		},
+		Init: map[string]int{"x": 0},
+	}
+	outcomes, err := ExploreBuffered(p, memmodel.TSO(), ExploreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		r, err := o.Lookup("t0:r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 1 {
+			t.Errorf("forwarding failed: r = %d", r)
+		}
+	}
+}
+
+// litmusPrograms returns the fence-free litmus shapes used for the
+// window-vs-buffer equivalence check.
+func litmusPrograms() map[string]Program {
+	return map[string]Program{
+		"SB": sbProgram(),
+		"MP": {
+			Threads: []Thread{
+				{Ops: []Op{StoreOp{Addr: "x", Src: Imm(1)}, StoreOp{Addr: "y", Src: Imm(1)}}},
+				{Ops: []Op{LoadOp{Addr: "y", Dst: "r1"}, LoadOp{Addr: "x", Dst: "r2"}}},
+			},
+			Init: map[string]int{"x": 0, "y": 0},
+		},
+		"LB": {
+			Threads: []Thread{
+				{Ops: []Op{LoadOp{Addr: "x", Dst: "r1"}, StoreOp{Addr: "y", Src: Imm(1)}}},
+				{Ops: []Op{LoadOp{Addr: "y", Dst: "r2"}, StoreOp{Addr: "x", Src: Imm(1)}}},
+			},
+			Init: map[string]int{"x": 0, "y": 0},
+		},
+		"2+2W": {
+			Threads: []Thread{
+				{Ops: []Op{StoreOp{Addr: "x", Src: Imm(1)}, StoreOp{Addr: "y", Src: Imm(2)}}},
+				{Ops: []Op{StoreOp{Addr: "y", Src: Imm(1)}, StoreOp{Addr: "x", Src: Imm(2)}}},
+			},
+			Init: map[string]int{"x": 0, "y": 0},
+		},
+		"INC": incProgram(),
+	}
+}
+
+func TestWindowAndBufferSemanticsAgree(t *testing.T) {
+	// The central machine-level validation: for store-atomic programs the
+	// reorder-window semantics and the store-buffer semantics must reach
+	// exactly the same outcome sets under TSO and PSO.
+	for name, p := range litmusPrograms() {
+		for _, model := range []memmodel.Model{memmodel.TSO(), memmodel.PSO()} {
+			window, err := Explore(p, model, ExploreConfig{})
+			if err != nil {
+				t.Fatalf("%s/%s window: %v", name, model.Name(), err)
+			}
+			buffered, err := ExploreBuffered(p, model, ExploreConfig{})
+			if err != nil {
+				t.Fatalf("%s/%s buffered: %v", name, model.Name(), err)
+			}
+			for key := range window {
+				if _, ok := buffered[key]; !ok {
+					t.Errorf("%s/%s: window outcome %s unreachable in buffered sim",
+						name, model.Name(), key)
+				}
+			}
+			for key := range buffered {
+				if _, ok := window[key]; !ok {
+					t.Errorf("%s/%s: buffered outcome %s unreachable in window sim",
+						name, model.Name(), key)
+				}
+			}
+		}
+	}
+}
+
+func TestBufferedPSOReordersStores(t *testing.T) {
+	// MP relaxed outcome (r1=1 ∧ r2=0) requires ST/ST reordering: buffered
+	// PSO must reach it, buffered TSO must not.
+	mp := litmusPrograms()["MP"]
+	check := func(model memmodel.Model) bool {
+		outcomes, err := ExploreBuffered(mp, model, ExploreConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range outcomes {
+			r1, err := o.Lookup("t1:r1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := o.Lookup("t1:r2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1 == 1 && r2 == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if check(memmodel.TSO()) {
+		t.Error("buffered TSO reached MP relaxed outcome")
+	}
+	if !check(memmodel.PSO()) {
+		t.Error("buffered PSO cannot reach MP relaxed outcome")
+	}
+}
+
+func TestBufferedRunRandom(t *testing.T) {
+	src := rng.New(5)
+	b, err := NewBufferedSim(incProgram(), memmodel.TSO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for trial := 0; trial < 2000; trial++ {
+		o, err := b.RunRandom(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := o.Lookup("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != 1 && x != 2 {
+			t.Fatalf("x = %d", x)
+		}
+		seen[x] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Errorf("outcome coverage %v", seen)
+	}
+}
+
+func TestBufferedFullFenceDrains(t *testing.T) {
+	fenced := Program{
+		Threads: []Thread{
+			{Ops: []Op{StoreOp{Addr: "x", Src: Imm(1)}, FenceOp{Kind: memmodel.FenceFull}, LoadOp{Addr: "y", Dst: "r1"}}},
+			{Ops: []Op{StoreOp{Addr: "y", Src: Imm(1)}, FenceOp{Kind: memmodel.FenceFull}, LoadOp{Addr: "x", Dst: "r2"}}},
+		},
+		Init: map[string]int{"x": 0, "y": 0},
+	}
+	outcomes, err := ExploreBuffered(fenced, memmodel.TSO(), ExploreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		r1, err := o.Lookup("t0:r1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := o.Lookup("t1:r2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 == 0 && r2 == 0 {
+			t.Error("fenced SB still reached relaxed outcome under buffered TSO")
+		}
+	}
+}
+
+func TestBufferedRMWDrainsAndIsAtomic(t *testing.T) {
+	fixed := Program{
+		Threads: []Thread{
+			{Ops: []Op{StoreOp{Addr: "y", Src: Imm(1)}, RMWAddOp{Addr: "x", Dst: "r", Delta: 1}}},
+			{Ops: []Op{RMWAddOp{Addr: "x", Dst: "r", Delta: 1}}},
+		},
+		Init: map[string]int{"x": 0, "y": 0},
+	}
+	outcomes, err := ExploreBuffered(fixed, memmodel.TSO(), ExploreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		x, err := o.Lookup("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x != 2 {
+			t.Errorf("atomic increments gave x = %d", x)
+		}
+	}
+}

@@ -1,0 +1,572 @@
+// Package machine is an operational shared-memory multiprocessor
+// simulator. It is the substrate the paper's abstract model corresponds
+// to: real hardware exhibiting SC/TSO/PSO/WO reorderings is not
+// controllable from portable Go (no fine-grained fence or reorder control),
+// so we simulate the microarchitecture instead.
+//
+// The primary semantics is a per-thread *reorder window*: an instruction
+// may execute when every earlier unexecuted instruction of its thread may
+// be bypassed under the memory model's Table 1 matrix (exactly the
+// memmodel.Relaxed relation the settling process uses), subject to
+// same-address coherence and register data dependencies. Memory is
+// store-atomic (a single shared copy), matching the paper's explicit
+// decision to ignore store-atomicity effects (§2.1).
+//
+// An independent store-buffer semantics for TSO and PSO (SC execution plus
+// FIFO or per-address write buffers) is provided in buffered.go; the litmus
+// suite checks that the two semantics yield identical reachable-outcome
+// sets, which is the classical equivalence for store-atomic machines.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+// ErrBadProgram reports an invalid machine program.
+var ErrBadProgram = errors.New("machine: bad program")
+
+// ErrStuck reports an execution state with unexecuted instructions but no
+// enabled action (impossible for well-formed programs; indicates a bug).
+var ErrStuck = errors.New("machine: execution stuck")
+
+// ErrTooLarge reports a state space beyond the explorer's configured limit.
+var ErrTooLarge = errors.New("machine: state space too large")
+
+// Operand is a register name or an immediate integer.
+type Operand struct {
+	reg   string
+	imm   int
+	isReg bool
+}
+
+// Reg returns a register operand.
+func Reg(name string) Operand { return Operand{reg: name, isReg: true} }
+
+// Imm returns an immediate operand.
+func Imm(v int) Operand { return Operand{imm: v} }
+
+// String renders the operand.
+func (o Operand) String() string {
+	if o.isReg {
+		return o.reg
+	}
+	return fmt.Sprintf("%d", o.imm)
+}
+
+// Op is one machine instruction.
+type Op interface {
+	fmt.Stringer
+	// opType classifies the op for the memory model's bypass matrix.
+	// ALU ops return 0 (ordered by program order; see package doc).
+	opType() memmodel.OpType
+	// addr returns the memory address accessed, or "" for non-memory ops.
+	addr() string
+	// readRegs and writeReg expose register dependencies.
+	readRegs() []string
+	writeReg() string
+}
+
+// LoadOp reads Addr into register Dst.
+type LoadOp struct {
+	Addr string
+	Dst  string
+}
+
+func (o LoadOp) String() string           { return fmt.Sprintf("%s = LD %s", o.Dst, o.Addr) }
+func (o LoadOp) opType() memmodel.OpType  { return memmodel.Load }
+func (o LoadOp) addr() string             { return o.Addr }
+func (o LoadOp) readRegs() []string       { return nil }
+func (o LoadOp) writeReg() string         { return o.Dst }
+
+// StoreOp writes Src (register or immediate) to Addr.
+type StoreOp struct {
+	Addr string
+	Src  Operand
+}
+
+func (o StoreOp) String() string          { return fmt.Sprintf("ST %s = %s", o.Addr, o.Src) }
+func (o StoreOp) opType() memmodel.OpType { return memmodel.Store }
+func (o StoreOp) addr() string            { return o.Addr }
+func (o StoreOp) readRegs() []string {
+	if o.Src.isReg {
+		return []string{o.Src.reg}
+	}
+	return nil
+}
+func (o StoreOp) writeReg() string { return "" }
+
+// AddOp computes Dst = A + B over registers/immediates. ALU ops execute in
+// program order in every model (their relative order is unobservable
+// through memory, so this costs no generality and keeps state spaces
+// small).
+type AddOp struct {
+	Dst  string
+	A, B Operand
+}
+
+func (o AddOp) String() string          { return fmt.Sprintf("%s = %s + %s", o.Dst, o.A, o.B) }
+func (o AddOp) opType() memmodel.OpType { return 0 }
+func (o AddOp) addr() string            { return "" }
+func (o AddOp) readRegs() []string {
+	var regs []string
+	if o.A.isReg {
+		regs = append(regs, o.A.reg)
+	}
+	if o.B.isReg {
+		regs = append(regs, o.B.reg)
+	}
+	return regs
+}
+func (o AddOp) writeReg() string { return o.Dst }
+
+// FenceOp is a memory fence of the given kind (memmodel.FenceAcquire,
+// FenceRelease, or FenceFull), with the same one-way-barrier semantics the
+// settling process uses.
+type FenceOp struct {
+	Kind memmodel.OpType
+}
+
+func (o FenceOp) String() string          { return o.Kind.String() }
+func (o FenceOp) opType() memmodel.OpType { return o.Kind }
+func (o FenceOp) addr() string            { return "" }
+func (o FenceOp) readRegs() []string      { return nil }
+func (o FenceOp) writeReg() string        { return "" }
+
+// RMWAddOp atomically reads Addr into Dst and writes Addr+Delta back. It
+// executes only when all earlier instructions of its thread have executed
+// and no later instruction bypasses it (full-fence ordering), the standard
+// conservative semantics for atomic read-modify-write.
+type RMWAddOp struct {
+	Addr  string
+	Dst   string
+	Delta int
+}
+
+func (o RMWAddOp) String() string          { return fmt.Sprintf("%s = RMW %s += %d", o.Dst, o.Addr, o.Delta) }
+func (o RMWAddOp) opType() memmodel.OpType { return memmodel.FenceFull }
+func (o RMWAddOp) addr() string            { return o.Addr }
+func (o RMWAddOp) readRegs() []string      { return nil }
+func (o RMWAddOp) writeReg() string        { return o.Dst }
+
+// Thread is one thread's instruction sequence.
+type Thread struct {
+	Name string
+	Ops  []Op
+}
+
+// Program is a multiprocessor program: threads plus initial memory.
+type Program struct {
+	Threads []Thread
+	Init    map[string]int
+}
+
+// Validate checks program well-formedness.
+func (p Program) Validate() error {
+	if len(p.Threads) == 0 {
+		return fmt.Errorf("%w: no threads", ErrBadProgram)
+	}
+	for ti, th := range p.Threads {
+		if len(th.Ops) == 0 {
+			return fmt.Errorf("%w: thread %d empty", ErrBadProgram, ti)
+		}
+		for oi, op := range th.Ops {
+			if op == nil {
+				return fmt.Errorf("%w: thread %d op %d nil", ErrBadProgram, ti, oi)
+			}
+			if f, ok := op.(FenceOp); ok && !f.Kind.IsFence() {
+				return fmt.Errorf("%w: thread %d op %d: fence kind %v", ErrBadProgram, ti, oi, f.Kind)
+			}
+			if l, ok := op.(LoadOp); ok && (l.Addr == "" || l.Dst == "") {
+				return fmt.Errorf("%w: thread %d op %d: incomplete load", ErrBadProgram, ti, oi)
+			}
+			if s, ok := op.(StoreOp); ok && s.Addr == "" {
+				return fmt.Errorf("%w: thread %d op %d: incomplete store", ErrBadProgram, ti, oi)
+			}
+		}
+	}
+	return nil
+}
+
+// Outcome is a final machine state: memory plus per-thread registers.
+type Outcome struct {
+	Mem  map[string]int
+	Regs []map[string]int
+}
+
+// Key returns a canonical string for the outcome, usable as a map key.
+func (o Outcome) Key() string {
+	var sb strings.Builder
+	writeSorted := func(m map[string]int) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s=%d;", k, m[k])
+		}
+	}
+	sb.WriteString("mem:")
+	writeSorted(o.Mem)
+	for ti, regs := range o.Regs {
+		fmt.Fprintf(&sb, "|t%d:", ti)
+		writeSorted(regs)
+	}
+	return sb.String()
+}
+
+// Lookup reads a value from the outcome by reference: "addr" reads memory,
+// "t<i>:<reg>" reads thread i's register.
+func (o Outcome) Lookup(ref string) (int, error) {
+	if strings.HasPrefix(ref, "t") {
+		var ti int
+		var reg string
+		if _, err := fmt.Sscanf(ref, "t%d:%s", &ti, &reg); err != nil {
+			return 0, fmt.Errorf("%w: bad reference %q", ErrBadProgram, ref)
+		}
+		if ti < 0 || ti >= len(o.Regs) {
+			return 0, fmt.Errorf("%w: thread %d out of range", ErrBadProgram, ti)
+		}
+		return o.Regs[ti][reg], nil
+	}
+	return o.Mem[ref], nil
+}
+
+// state is a full execution state.
+type state struct {
+	mem      map[string]int
+	regs     []map[string]int
+	executed [][]bool
+}
+
+func newState(p Program) *state {
+	s := &state{
+		mem:      make(map[string]int, len(p.Init)),
+		regs:     make([]map[string]int, len(p.Threads)),
+		executed: make([][]bool, len(p.Threads)),
+	}
+	for k, v := range p.Init {
+		s.mem[k] = v
+	}
+	for ti, th := range p.Threads {
+		s.regs[ti] = make(map[string]int)
+		s.executed[ti] = make([]bool, len(th.Ops))
+	}
+	return s
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		mem:      make(map[string]int, len(s.mem)),
+		regs:     make([]map[string]int, len(s.regs)),
+		executed: make([][]bool, len(s.executed)),
+	}
+	for k, v := range s.mem {
+		c.mem[k] = v
+	}
+	for ti := range s.regs {
+		c.regs[ti] = make(map[string]int, len(s.regs[ti]))
+		for k, v := range s.regs[ti] {
+			c.regs[ti][k] = v
+		}
+		c.executed[ti] = make([]bool, len(s.executed[ti]))
+		copy(c.executed[ti], s.executed[ti])
+	}
+	return c
+}
+
+func (s *state) key() string {
+	var sb strings.Builder
+	keys := make([]string, 0, len(s.mem))
+	for k := range s.mem {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%d;", k, s.mem[k])
+	}
+	for ti := range s.regs {
+		fmt.Fprintf(&sb, "|t%d:", ti)
+		rkeys := make([]string, 0, len(s.regs[ti]))
+		for k := range s.regs[ti] {
+			rkeys = append(rkeys, k)
+		}
+		sort.Strings(rkeys)
+		for _, k := range rkeys {
+			fmt.Fprintf(&sb, "%s=%d;", k, s.regs[ti][k])
+		}
+		sb.WriteByte(':')
+		for _, e := range s.executed[ti] {
+			if e {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+	}
+	return sb.String()
+}
+
+func (s *state) done() bool {
+	for ti := range s.executed {
+		for _, e := range s.executed[ti] {
+			if !e {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *state) outcome() Outcome {
+	o := Outcome{
+		Mem:  make(map[string]int, len(s.mem)),
+		Regs: make([]map[string]int, len(s.regs)),
+	}
+	for k, v := range s.mem {
+		o.Mem[k] = v
+	}
+	for ti := range s.regs {
+		o.Regs[ti] = make(map[string]int, len(s.regs[ti]))
+		for k, v := range s.regs[ti] {
+			o.Regs[ti][k] = v
+		}
+	}
+	return o
+}
+
+// Action identifies an executable instruction: thread index and op index.
+type Action struct {
+	Thread int
+	Op     int
+}
+
+// Sim executes a program under a memory model with reorder-window
+// semantics.
+type Sim struct {
+	prog  Program
+	model memmodel.Model
+	st    *state
+}
+
+// NewSim returns a fresh simulator for the program under the model.
+func NewSim(p Program, model memmodel.Model) (*Sim, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Name() == "" {
+		return nil, fmt.Errorf("%w: zero-value model", ErrBadProgram)
+	}
+	return &Sim{prog: p, model: model, st: newState(p)}, nil
+}
+
+// Reset returns the simulator to the initial state.
+func (s *Sim) Reset() { s.st = newState(s.prog) }
+
+// Done reports whether every instruction has executed.
+func (s *Sim) Done() bool { return s.st.done() }
+
+// Outcome returns the current machine state as an Outcome.
+func (s *Sim) Outcome() Outcome { return s.st.outcome() }
+
+// Enabled returns the actions executable from the current state.
+func (s *Sim) Enabled() []Action {
+	return enabledActions(s.prog, s.model, s.st)
+}
+
+// enabledActions computes the enabled set: op i of thread t is enabled if
+// unexecuted and every earlier unexecuted op j of the same thread may be
+// bypassed:
+//
+//   - ALU ops (and bypassing ALU ops) follow program order;
+//   - same-address memory operations never bypass (coherence, footnote 2);
+//   - register dependencies (RAW, WAR, WAW) block;
+//   - otherwise the memory model's Relaxed matrix decides, with fence
+//     one-way-barrier semantics.
+func enabledActions(p Program, model memmodel.Model, st *state) []Action {
+	var actions []Action
+	for ti, th := range p.Threads {
+		for oi, op := range th.Ops {
+			if st.executed[ti][oi] {
+				continue
+			}
+			if canExecute(th, st.executed[ti], oi, op, model) {
+				actions = append(actions, Action{Thread: ti, Op: oi})
+			}
+		}
+	}
+	return actions
+}
+
+func canExecute(th Thread, executed []bool, oi int, op Op, model memmodel.Model) bool {
+	for j := 0; j < oi; j++ {
+		if executed[j] {
+			continue
+		}
+		if !mayBypass(th.Ops[j], op, model) {
+			return false
+		}
+	}
+	return true
+}
+
+// mayBypass reports whether a later instruction (moving) may execute before
+// an earlier unexecuted instruction (prev) of the same thread.
+func mayBypass(prev, moving Op, model memmodel.Model) bool {
+	// ALU ops keep program order (unobservable through memory).
+	if prev.opType() == 0 || moving.opType() == 0 {
+		return false
+	}
+	// Coherence: same-address memory accesses stay ordered.
+	if prev.addr() != "" && prev.addr() == moving.addr() {
+		return false
+	}
+	// Register dependencies.
+	if regsConflict(prev, moving) {
+		return false
+	}
+	return model.Relaxed(prev.opType(), moving.opType())
+}
+
+func regsConflict(prev, moving Op) bool {
+	if w := prev.writeReg(); w != "" {
+		if moving.writeReg() == w {
+			return true
+		}
+		for _, r := range moving.readRegs() {
+			if r == w {
+				return true
+			}
+		}
+	}
+	if w := moving.writeReg(); w != "" {
+		for _, r := range prev.readRegs() {
+			if r == w {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Step executes the given action. It returns an error if the action is not
+// currently enabled.
+func (s *Sim) Step(a Action) error {
+	for _, e := range s.Enabled() {
+		if e == a {
+			execOp(s.prog, s.st, a)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: action %+v not enabled", ErrBadProgram, a)
+}
+
+func evalOperand(regs map[string]int, o Operand) int {
+	if o.isReg {
+		return regs[o.reg]
+	}
+	return o.imm
+}
+
+func execOp(p Program, st *state, a Action) {
+	op := p.Threads[a.Thread].Ops[a.Op]
+	regs := st.regs[a.Thread]
+	switch o := op.(type) {
+	case LoadOp:
+		regs[o.Dst] = st.mem[o.Addr]
+	case StoreOp:
+		st.mem[o.Addr] = evalOperand(regs, o.Src)
+	case AddOp:
+		regs[o.Dst] = evalOperand(regs, o.A) + evalOperand(regs, o.B)
+	case FenceOp:
+		// No state change; ordering only.
+	case RMWAddOp:
+		old := st.mem[o.Addr]
+		regs[o.Dst] = old
+		st.mem[o.Addr] = old + o.Delta
+	}
+	st.executed[a.Thread][a.Op] = true
+}
+
+// RunRandom executes the program to completion choosing uniformly among
+// enabled actions, and returns the final outcome. It also returns the
+// committed action sequence (the global memory order) for trace analysis.
+func (s *Sim) RunRandom(src *rng.Source) (Outcome, []Action, error) {
+	if src == nil {
+		return Outcome{}, nil, fmt.Errorf("%w: nil rng source", ErrBadProgram)
+	}
+	s.Reset()
+	var seq []Action
+	for !s.Done() {
+		enabled := s.Enabled()
+		if len(enabled) == 0 {
+			return Outcome{}, nil, fmt.Errorf("%w: %d actions executed", ErrStuck, len(seq))
+		}
+		a := enabled[src.Intn(len(enabled))]
+		execOp(s.prog, s.st, a)
+		seq = append(seq, a)
+	}
+	return s.Outcome(), seq, nil
+}
+
+// ExploreConfig bounds exhaustive exploration.
+type ExploreConfig struct {
+	// MaxStates caps visited states; 0 means 1<<20.
+	MaxStates int
+}
+
+// Explore enumerates every reachable final outcome of the program under
+// the model by depth-first search over scheduler choices with state
+// deduplication. Outcomes are keyed canonically.
+func Explore(p Program, model memmodel.Model, cfg ExploreConfig) (map[string]Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if model.Name() == "" {
+		return nil, fmt.Errorf("%w: zero-value model", ErrBadProgram)
+	}
+	maxStates := cfg.MaxStates
+	if maxStates == 0 {
+		maxStates = 1 << 20
+	}
+	outcomes := make(map[string]Outcome)
+	visited := make(map[string]bool)
+	var dfs func(st *state) error
+	dfs = func(st *state) error {
+		key := st.key()
+		if visited[key] {
+			return nil
+		}
+		if len(visited) >= maxStates {
+			return fmt.Errorf("%w: visited %d states", ErrTooLarge, len(visited))
+		}
+		visited[key] = true
+		if st.done() {
+			o := st.outcome()
+			outcomes[o.Key()] = o
+			return nil
+		}
+		actions := enabledActions(p, model, st)
+		if len(actions) == 0 {
+			return fmt.Errorf("%w: state %s", ErrStuck, key)
+		}
+		for _, a := range actions {
+			next := st.clone()
+			execOp(p, next, a)
+			if err := dfs(next); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(newState(p)); err != nil {
+		return nil, err
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,412 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+// sbProgram is the store-buffering litmus shape: the canonical TSO witness.
+func sbProgram() Program {
+	return Program{
+		Threads: []Thread{
+			{Name: "T0", Ops: []Op{StoreOp{Addr: "x", Src: Imm(1)}, LoadOp{Addr: "y", Dst: "r1"}}},
+			{Name: "T1", Ops: []Op{StoreOp{Addr: "y", Src: Imm(1)}, LoadOp{Addr: "x", Dst: "r2"}}},
+		},
+		Init: map[string]int{"x": 0, "y": 0},
+	}
+}
+
+// incProgram is the §2.2 canonical atomicity violation.
+func incProgram() Program {
+	thread := func() Thread {
+		return Thread{Ops: []Op{
+			LoadOp{Addr: "x", Dst: "r"},
+			AddOp{Dst: "r", A: Reg("r"), B: Imm(1)},
+			StoreOp{Addr: "x", Src: Reg("r")},
+		}}
+	}
+	return Program{Threads: []Thread{thread(), thread()}, Init: map[string]int{"x": 0}}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Program{}).Validate(); !errors.Is(err, ErrBadProgram) {
+		t.Error("empty program accepted")
+	}
+	if err := (Program{Threads: []Thread{{}}}).Validate(); !errors.Is(err, ErrBadProgram) {
+		t.Error("empty thread accepted")
+	}
+	bad := Program{Threads: []Thread{{Ops: []Op{LoadOp{}}}}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadProgram) {
+		t.Error("incomplete load accepted")
+	}
+	badFence := Program{Threads: []Thread{{Ops: []Op{FenceOp{Kind: memmodel.Load}}}}}
+	if err := badFence.Validate(); !errors.Is(err, ErrBadProgram) {
+		t.Error("non-fence fence kind accepted")
+	}
+	if err := sbProgram().Validate(); err != nil {
+		t.Errorf("SB program rejected: %v", err)
+	}
+}
+
+func TestSCInterleavingOnly(t *testing.T) {
+	// Under SC only the next instruction of each thread is enabled.
+	sim, err := NewSim(sbProgram(), memmodel.SC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled := sim.Enabled()
+	if len(enabled) != 2 {
+		t.Fatalf("SC initial enabled = %v", enabled)
+	}
+	for _, a := range enabled {
+		if a.Op != 0 {
+			t.Errorf("SC enabled non-first op: %+v", a)
+		}
+	}
+}
+
+func TestTSOEnablesLoadBypass(t *testing.T) {
+	// Under TSO the load may execute before the unexecuted store.
+	sim, err := NewSim(sbProgram(), memmodel.TSO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled := sim.Enabled()
+	want := map[Action]bool{
+		{0, 0}: true, {0, 1}: true, {1, 0}: true, {1, 1}: true,
+	}
+	if len(enabled) != 4 {
+		t.Fatalf("TSO enabled = %v", enabled)
+	}
+	for _, a := range enabled {
+		if !want[a] {
+			t.Errorf("unexpected enabled action %+v", a)
+		}
+	}
+}
+
+func TestExploreSBOutcomes(t *testing.T) {
+	// SB relaxed outcome (r1=0 ∧ r2=0) is forbidden under SC, allowed
+	// under TSO, PSO, WO.
+	for _, tc := range []struct {
+		model   memmodel.Model
+		relaxed bool
+	}{
+		{memmodel.SC(), false},
+		{memmodel.TSO(), true},
+		{memmodel.PSO(), true},
+		{memmodel.WO(), true},
+	} {
+		outcomes, err := Explore(sbProgram(), tc.model, ExploreConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.model.Name(), err)
+		}
+		found := false
+		for _, o := range outcomes {
+			r1, err := o.Lookup("t0:r1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := o.Lookup("t1:r2")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1 == 0 && r2 == 0 {
+				found = true
+			}
+		}
+		if found != tc.relaxed {
+			t.Errorf("%s: SB relaxed outcome reachable = %v, want %v",
+				tc.model.Name(), found, tc.relaxed)
+		}
+	}
+}
+
+func TestExploreSCOutcomesAreSubset(t *testing.T) {
+	// Every SC outcome must be reachable under every weaker model.
+	scOutcomes, err := Explore(sbProgram(), memmodel.SC(), ExploreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []memmodel.Model{memmodel.TSO(), memmodel.PSO(), memmodel.WO()} {
+		weak, err := Explore(sbProgram(), model, ExploreConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for key := range scOutcomes {
+			if _, ok := weak[key]; !ok {
+				t.Errorf("%s missing SC outcome %s", model.Name(), key)
+			}
+		}
+		if len(weak) < len(scOutcomes) {
+			t.Errorf("%s has fewer outcomes than SC", model.Name())
+		}
+	}
+}
+
+func TestIncrementRaceManifestsEverywhere(t *testing.T) {
+	// x=1 (the §2.2 bug) is reachable under every model, including SC;
+	// x=2 (the intended result) likewise. x must be one of {1, 2}.
+	for _, model := range memmodel.All() {
+		outcomes, err := Explore(incProgram(), model, ExploreConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", model.Name(), err)
+		}
+		seen := map[int]bool{}
+		for _, o := range outcomes {
+			x, err := o.Lookup("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[x] = true
+			if x != 1 && x != 2 {
+				t.Errorf("%s: impossible final x=%d", model.Name(), x)
+			}
+		}
+		if !seen[1] || !seen[2] {
+			t.Errorf("%s: outcome coverage %v, want both 1 and 2", model.Name(), seen)
+		}
+	}
+}
+
+func TestRMWFixesIncrementRace(t *testing.T) {
+	// Replacing the load-add-store with an atomic RMW removes x=1 in every
+	// model.
+	fixed := Program{
+		Threads: []Thread{
+			{Ops: []Op{RMWAddOp{Addr: "x", Dst: "r", Delta: 1}}},
+			{Ops: []Op{RMWAddOp{Addr: "x", Dst: "r", Delta: 1}}},
+		},
+		Init: map[string]int{"x": 0},
+	}
+	for _, model := range memmodel.All() {
+		outcomes, err := Explore(fixed, model, ExploreConfig{})
+		if err != nil {
+			t.Fatalf("%s: %v", model.Name(), err)
+		}
+		for _, o := range outcomes {
+			x, err := o.Lookup("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x != 2 {
+				t.Errorf("%s: atomic increments gave x=%d", model.Name(), x)
+			}
+		}
+	}
+}
+
+func TestFencesRestoreSCForSB(t *testing.T) {
+	// ST x=1; FENCE; LD y — full fences between the store and load forbid
+	// the relaxed SB outcome even under WO.
+	fenced := Program{
+		Threads: []Thread{
+			{Ops: []Op{StoreOp{Addr: "x", Src: Imm(1)}, FenceOp{Kind: memmodel.FenceFull}, LoadOp{Addr: "y", Dst: "r1"}}},
+			{Ops: []Op{StoreOp{Addr: "y", Src: Imm(1)}, FenceOp{Kind: memmodel.FenceFull}, LoadOp{Addr: "x", Dst: "r2"}}},
+		},
+		Init: map[string]int{"x": 0, "y": 0},
+	}
+	outcomes, err := Explore(fenced, memmodel.WO(), ExploreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		r1, err := o.Lookup("t0:r1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := o.Lookup("t1:r2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 == 0 && r2 == 0 {
+			t.Error("full fences failed to forbid SB relaxed outcome under WO")
+		}
+	}
+}
+
+func TestAcquireReleaseOneWay(t *testing.T) {
+	// Under WO: LD y may bypass an earlier REL fence ("into the critical
+	// section") but not an earlier ACQ fence.
+	mk := func(kind memmodel.OpType) Program {
+		return Program{
+			Threads: []Thread{
+				{Ops: []Op{FenceOp{Kind: kind}, LoadOp{Addr: "y", Dst: "r1"}}},
+			},
+			Init: map[string]int{"y": 0},
+		}
+	}
+	simRel, err := NewSim(mk(memmodel.FenceRelease), memmodel.WO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	relEnabled := simRel.Enabled()
+	if len(relEnabled) != 2 {
+		t.Errorf("release: enabled = %v, want fence and load", relEnabled)
+	}
+	simAcq, err := NewSim(mk(memmodel.FenceAcquire), memmodel.WO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acqEnabled := simAcq.Enabled()
+	if len(acqEnabled) != 1 || acqEnabled[0].Op != 0 {
+		t.Errorf("acquire: enabled = %v, want fence only", acqEnabled)
+	}
+}
+
+func TestRegisterDependenciesBlock(t *testing.T) {
+	// Under WO, a store of r may not bypass the load producing r.
+	p := Program{
+		Threads: []Thread{
+			{Ops: []Op{LoadOp{Addr: "x", Dst: "r"}, StoreOp{Addr: "y", Src: Reg("r")}}},
+		},
+		Init: map[string]int{"x": 7, "y": 0},
+	}
+	sim, err := NewSim(p, memmodel.WO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	enabled := sim.Enabled()
+	if len(enabled) != 1 || enabled[0].Op != 0 {
+		t.Errorf("dependent store enabled early: %v", enabled)
+	}
+	outcomes, err := Explore(p, memmodel.WO(), ExploreConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	for _, o := range outcomes {
+		y, err := o.Lookup("y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if y != 7 {
+			t.Errorf("y = %d, want 7", y)
+		}
+	}
+}
+
+func TestStepRejectsDisabled(t *testing.T) {
+	sim, err := NewSim(sbProgram(), memmodel.SC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Step(Action{Thread: 0, Op: 1}); !errors.Is(err, ErrBadProgram) {
+		t.Error("disabled action accepted under SC")
+	}
+	if err := sim.Step(Action{Thread: 0, Op: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Outcome().Mem["x"] != 1 {
+		t.Error("store did not commit")
+	}
+}
+
+func TestRunRandomCompletes(t *testing.T) {
+	src := rng.New(1)
+	for _, model := range memmodel.All() {
+		sim, err := NewSim(incProgram(), model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			o, seq, err := sim.RunRandom(src)
+			if err != nil {
+				t.Fatalf("%s: %v", model.Name(), err)
+			}
+			if len(seq) != 6 {
+				t.Fatalf("%s: %d actions", model.Name(), len(seq))
+			}
+			x, err := o.Lookup("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x != 1 && x != 2 {
+				t.Fatalf("%s: x = %d", model.Name(), x)
+			}
+		}
+	}
+}
+
+func TestRunRandomBugFrequencyOrdering(t *testing.T) {
+	// Operational shape check (E12): with a uniform random scheduler, the
+	// §2.2 bug manifests at least as often under WO as under SC, because
+	// reordering can only widen the LD→ST window.
+	src := rng.New(2)
+	freq := func(model memmodel.Model) float64 {
+		sim, err := NewSim(incProgram(), model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const trials = 30000
+		bugs := 0
+		for i := 0; i < trials; i++ {
+			o, _, err := sim.RunRandom(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, err := o.Lookup("x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if x == 1 {
+				bugs++
+			}
+		}
+		return float64(bugs) / trials
+	}
+	sc := freq(memmodel.SC())
+	wo := freq(memmodel.WO())
+	if sc <= 0 {
+		t.Error("SC never manifested the bug (it must: the race is an interleaving bug)")
+	}
+	if wo < sc-0.02 {
+		t.Errorf("WO bug frequency %v well below SC %v", wo, sc)
+	}
+}
+
+func TestExploreStateLimit(t *testing.T) {
+	_, err := Explore(incProgram(), memmodel.WO(), ExploreConfig{MaxStates: 3})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestOutcomeKeyAndLookup(t *testing.T) {
+	o := Outcome{
+		Mem:  map[string]int{"x": 1, "y": 2},
+		Regs: []map[string]int{{"r1": 3}},
+	}
+	if o.Key() != (Outcome{
+		Mem:  map[string]int{"y": 2, "x": 1},
+		Regs: []map[string]int{{"r1": 3}},
+	}).Key() {
+		t.Error("Key not canonical")
+	}
+	if v, err := o.Lookup("x"); err != nil || v != 1 {
+		t.Errorf("Lookup(x) = %d, %v", v, err)
+	}
+	if v, err := o.Lookup("t0:r1"); err != nil || v != 3 {
+		t.Errorf("Lookup(t0:r1) = %d, %v", v, err)
+	}
+	if _, err := o.Lookup("t9:r1"); !errors.Is(err, ErrBadProgram) {
+		t.Error("out-of-range thread accepted")
+	}
+	if _, err := o.Lookup("tX"); !errors.Is(err, ErrBadProgram) {
+		t.Error("malformed ref accepted")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	if Reg("r1").String() != "r1" || Imm(5).String() != "5" {
+		t.Error("Operand.String wrong")
+	}
+	if (LoadOp{Addr: "x", Dst: "r"}).String() != "r = LD x" {
+		t.Error("LoadOp.String wrong")
+	}
+}

@@ -1,0 +1,296 @@
+// Package mc is a parallel Monte Carlo harness. Every probability estimate
+// in the benchmark suite — Pr[B_γ], Pr[A(γ̄)], Pr[A] — runs through it.
+//
+// The harness guarantees reproducibility under concurrency: each worker
+// derives its own RNG substream from the experiment seed, and results are
+// merged deterministically, so an estimate depends only on (seed, trials,
+// workers), never on goroutine scheduling.
+package mc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"memreliability/internal/rng"
+	"memreliability/internal/stats"
+)
+
+// ErrBadConfig reports an invalid harness configuration.
+var ErrBadConfig = errors.New("mc: bad config")
+
+// Trial is a single randomized experiment returning whether the event of
+// interest occurred. Implementations must use only the provided Source for
+// randomness and must be safe to call from one goroutine at a time.
+type Trial func(src *rng.Source) (success bool, err error)
+
+// Config controls a Monte Carlo run.
+type Config struct {
+	// Trials is the total number of trials to run. Must be positive.
+	Trials int
+	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
+	Workers int
+	// Seed is the experiment seed; every run with the same Config and
+	// trial function produces identical counts.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Trials <= 0 {
+		return fmt.Errorf("%w: trials=%d", ErrBadConfig, c.Trials)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("%w: workers=%d", ErrBadConfig, c.Workers)
+	}
+	return nil
+}
+
+// Result is the outcome of a Monte Carlo run.
+type Result struct {
+	Proportion stats.Proportion
+}
+
+// Estimate returns the point estimate of the event probability.
+func (r *Result) Estimate() float64 { return r.Proportion.Estimate() }
+
+// WilsonCI returns the Wilson interval at the given level.
+func (r *Result) WilsonCI(level float64) (lo, hi float64, err error) {
+	return r.Proportion.WilsonCI(level)
+}
+
+// EstimateProbability runs trials of the given Trial function in parallel
+// and returns the aggregated proportion. The context cancels the run early;
+// a canceled run returns ctx.Err() alongside partial results.
+func EstimateProbability(ctx context.Context, cfg Config, trial Trial) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if trial == nil {
+		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	// Deterministic substreams: worker w gets the w-th Split of the root.
+	root := rng.New(cfg.Seed)
+	sources := make([]*rng.Source, workers)
+	for w := range sources {
+		sources[w] = root.Split()
+	}
+
+	type partial struct {
+		successes int
+		trials    int
+		err       error
+	}
+	partials := make([]partial, workers)
+
+	base := cfg.Trials / workers
+	extra := cfg.Trials % workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := base
+		if w < extra {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int, src *rng.Source) {
+			defer wg.Done()
+			p := &partials[w]
+			for i := 0; i < quota; i++ {
+				if i%1024 == 0 && ctx.Err() != nil {
+					p.err = ctx.Err()
+					return
+				}
+				ok, err := trial(src)
+				if err != nil {
+					p.err = fmt.Errorf("mc: trial failed in worker %d: %w", w, err)
+					return
+				}
+				p.trials++
+				if ok {
+					p.successes++
+				}
+			}
+		}(w, quota, sources[w])
+	}
+	wg.Wait()
+
+	result := &Result{}
+	var firstErr error
+	for w := range partials {
+		if partials[w].err != nil && firstErr == nil {
+			firstErr = partials[w].err
+		}
+		if err := result.Proportion.AddCounts(partials[w].successes, partials[w].trials); err != nil {
+			return nil, err
+		}
+	}
+	if firstErr != nil {
+		return result, firstErr
+	}
+	return result, nil
+}
+
+// IntSampler is a randomized experiment producing a non-negative integer
+// observation (e.g. a critical-window size).
+type IntSampler func(src *rng.Source) (value int, err error)
+
+// EstimateDistribution runs the sampler cfg.Trials times and histograms the
+// observations into the given number of buckets (plus overflow).
+func EstimateDistribution(ctx context.Context, cfg Config, buckets int, sample IntSampler) (*stats.Histogram, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sample == nil {
+		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	root := rng.New(cfg.Seed)
+	sources := make([]*rng.Source, workers)
+	for w := range sources {
+		sources[w] = root.Split()
+	}
+
+	hists := make([]*stats.Histogram, workers)
+	errs := make([]error, workers)
+	base := cfg.Trials / workers
+	extra := cfg.Trials % workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := base
+		if w < extra {
+			quota++
+		}
+		h, err := stats.NewHistogram(buckets)
+		if err != nil {
+			return nil, fmt.Errorf("mc: %w", err)
+		}
+		hists[w] = h
+		wg.Add(1)
+		go func(w, quota int, src *rng.Source) {
+			defer wg.Done()
+			for i := 0; i < quota; i++ {
+				if i%1024 == 0 && ctx.Err() != nil {
+					errs[w] = ctx.Err()
+					return
+				}
+				v, err := sample(src)
+				if err != nil {
+					errs[w] = fmt.Errorf("mc: sampler failed in worker %d: %w", w, err)
+					return
+				}
+				if err := hists[w].Observe(v); err != nil {
+					errs[w] = fmt.Errorf("mc: worker %d: %w", w, err)
+					return
+				}
+			}
+		}(w, quota, sources[w])
+	}
+	wg.Wait()
+
+	merged, err := stats.NewHistogram(buckets)
+	if err != nil {
+		return nil, fmt.Errorf("mc: %w", err)
+	}
+	for w := range hists {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		for b := 0; b < buckets; b++ {
+			for i := 0; i < hists[w].Count(b); i++ {
+				if err := merged.Observe(b); err != nil {
+					return nil, fmt.Errorf("mc: merge: %w", err)
+				}
+			}
+		}
+		for i := 0; i < hists[w].Overflow(); i++ {
+			if err := merged.Observe(buckets); err != nil {
+				return nil, fmt.Errorf("mc: merge: %w", err)
+			}
+		}
+	}
+	return merged, nil
+}
+
+// MeanEstimator runs a real-valued sampler and returns an online Summary.
+type MeanEstimator func(src *rng.Source) (value float64, err error)
+
+// EstimateMean runs the sampler cfg.Trials times and returns summary
+// statistics of the observations.
+func EstimateMean(ctx context.Context, cfg Config, sample MeanEstimator) (*stats.Summary, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sample == nil {
+		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	root := rng.New(cfg.Seed)
+	sources := make([]*rng.Source, workers)
+	for w := range sources {
+		sources[w] = root.Split()
+	}
+
+	sums := make([]stats.Summary, workers)
+	errs := make([]error, workers)
+	base := cfg.Trials / workers
+	extra := cfg.Trials % workers
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		quota := base
+		if w < extra {
+			quota++
+		}
+		wg.Add(1)
+		go func(w, quota int, src *rng.Source) {
+			defer wg.Done()
+			for i := 0; i < quota; i++ {
+				if i%1024 == 0 && ctx.Err() != nil {
+					errs[w] = ctx.Err()
+					return
+				}
+				v, err := sample(src)
+				if err != nil {
+					errs[w] = fmt.Errorf("mc: sampler failed in worker %d: %w", w, err)
+					return
+				}
+				sums[w].Add(v)
+			}
+		}(w, quota, sources[w])
+	}
+	wg.Wait()
+
+	var merged stats.Summary
+	for w := range sums {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		merged = stats.MergeSummaries(merged, sums[w])
+	}
+	return &merged, nil
+}

@@ -1,0 +1,196 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"memreliability/internal/rng"
+)
+
+func TestEstimateProbabilityBasic(t *testing.T) {
+	ctx := context.Background()
+	res, err := EstimateProbability(ctx, Config{Trials: 200000, Seed: 1}, func(src *rng.Source) (bool, error) {
+		return src.Bool(0.37), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Estimate(); math.Abs(got-0.37) > 0.01 {
+		t.Errorf("estimate = %v, want ~0.37", got)
+	}
+	lo, hi, err := res.WilsonCI(0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 0.37 || hi < 0.37 {
+		t.Errorf("CI [%v,%v] misses 0.37", lo, hi)
+	}
+}
+
+func TestEstimateProbabilityDeterministic(t *testing.T) {
+	ctx := context.Background()
+	trial := func(src *rng.Source) (bool, error) { return src.Bool(0.5), nil }
+	cfg := Config{Trials: 50000, Workers: 4, Seed: 99}
+	a, err := EstimateProbability(ctx, cfg, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateProbability(ctx, cfg, trial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Proportion.Successes() != b.Proportion.Successes() {
+		t.Errorf("same seed gave %d vs %d successes",
+			a.Proportion.Successes(), b.Proportion.Successes())
+	}
+}
+
+func TestEstimateProbabilityWorkerCountInvariance(t *testing.T) {
+	// Different worker counts legitimately partition the substreams
+	// differently, but both must land near the truth.
+	ctx := context.Background()
+	trial := func(src *rng.Source) (bool, error) { return src.Bool(0.2), nil }
+	for _, workers := range []int{1, 2, 7} {
+		res, err := EstimateProbability(ctx, Config{Trials: 100000, Workers: workers, Seed: 5}, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Estimate()-0.2) > 0.01 {
+			t.Errorf("workers=%d: estimate %v", workers, res.Estimate())
+		}
+	}
+}
+
+func TestEstimateProbabilityValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := EstimateProbability(ctx, Config{Trials: 0}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("zero trials accepted")
+	}
+	if _, err := EstimateProbability(ctx, Config{Trials: 10, Workers: -1}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("negative workers accepted")
+	}
+	if _, err := EstimateProbability(ctx, Config{Trials: 10}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil trial accepted")
+	}
+}
+
+func TestEstimateProbabilityPropagatesTrialError(t *testing.T) {
+	ctx := context.Background()
+	sentinel := errors.New("boom")
+	_, err := EstimateProbability(ctx, Config{Trials: 1000, Workers: 2, Seed: 1},
+		func(src *rng.Source) (bool, error) { return false, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestEstimateProbabilityCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := EstimateProbability(ctx, Config{Trials: 1 << 22, Workers: 2, Seed: 1},
+		func(src *rng.Source) (bool, error) { return src.Bool(0.5), nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEstimateProbabilityMoreWorkersThanTrials(t *testing.T) {
+	ctx := context.Background()
+	res, err := EstimateProbability(ctx, Config{Trials: 3, Workers: 16, Seed: 1},
+		func(src *rng.Source) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proportion.Trials() != 3 || res.Proportion.Successes() != 3 {
+		t.Errorf("got %d/%d", res.Proportion.Successes(), res.Proportion.Trials())
+	}
+}
+
+func TestEstimateDistribution(t *testing.T) {
+	ctx := context.Background()
+	// Geometric(1/2) via bit counting; check the histogram matches 2^-(k+1).
+	h, err := EstimateDistribution(ctx, Config{Trials: 400000, Seed: 3}, 10,
+		func(src *rng.Source) (int, error) {
+			k := 0
+			for src.Bool(0.5) {
+				k++
+			}
+			return k, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 400000 {
+		t.Fatalf("total %d", h.Total())
+	}
+	for k := 0; k < 6; k++ {
+		want := math.Pow(2, -float64(k+1))
+		if got := h.Freq(k); math.Abs(got-want) > 0.005 {
+			t.Errorf("freq(%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestEstimateDistributionDeterministic(t *testing.T) {
+	ctx := context.Background()
+	sample := func(src *rng.Source) (int, error) { return src.Intn(5), nil }
+	cfg := Config{Trials: 20000, Workers: 3, Seed: 11}
+	a, err := EstimateDistribution(ctx, cfg, 5, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateDistribution(ctx, cfg, 5, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 5; k++ {
+		if a.Count(k) != b.Count(k) {
+			t.Errorf("bucket %d: %d vs %d", k, a.Count(k), b.Count(k))
+		}
+	}
+}
+
+func TestEstimateDistributionError(t *testing.T) {
+	ctx := context.Background()
+	sentinel := errors.New("bad sample")
+	_, err := EstimateDistribution(ctx, Config{Trials: 100, Seed: 1}, 4,
+		func(src *rng.Source) (int, error) { return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+	_, err = EstimateDistribution(ctx, Config{Trials: 100, Seed: 1}, 4,
+		func(src *rng.Source) (int, error) { return -1, nil })
+	if err == nil {
+		t.Error("negative observation accepted")
+	}
+}
+
+func TestEstimateMean(t *testing.T) {
+	ctx := context.Background()
+	sum, err := EstimateMean(ctx, Config{Trials: 300000, Workers: 4, Seed: 7},
+		func(src *rng.Source) (float64, error) { return src.Float64() * 6, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Mean()-3) > 0.02 {
+		t.Errorf("mean = %v, want ~3", sum.Mean())
+	}
+	if math.Abs(sum.Variance()-3) > 0.05 {
+		t.Errorf("variance = %v, want ~3 (uniform on [0,6])", sum.Variance())
+	}
+	if sum.N() != 300000 {
+		t.Errorf("N = %d", sum.N())
+	}
+}
+
+func TestEstimateMeanError(t *testing.T) {
+	ctx := context.Background()
+	sentinel := errors.New("bad")
+	_, err := EstimateMean(ctx, Config{Trials: 100, Seed: 1},
+		func(src *rng.Source) (float64, error) { return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package report renders experiment results as fixed-width text tables,
+// CSV, and Markdown. Every benchmark that reproduces a paper table or
+// figure emits its rows through this package so the output format is
+// uniform across experiments.
+package report
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrBadTable reports structurally invalid table construction.
+var ErrBadTable = errors.New("report: bad table")
+
+// Table is a simple column-aligned table builder.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) (*Table, error) {
+	if len(headers) == 0 {
+		return nil, fmt.Errorf("%w: no headers", ErrBadTable)
+	}
+	h := make([]string, len(headers))
+	copy(h, headers)
+	return &Table{title: title, headers: h}, nil
+}
+
+// AddRow appends a row; the cell count must match the header count.
+func (t *Table) AddRow(cells ...string) error {
+	if len(cells) != len(t.headers) {
+		return fmt.Errorf("%w: row has %d cells, want %d", ErrBadTable, len(cells), len(t.headers))
+	}
+	row := make([]string, len(cells))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// AddRowValues appends a row of arbitrary values formatted with %v, except
+// float64 which uses FormatProb.
+func (t *Table) AddRowValues(values ...any) error {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = FormatProb(x)
+		case string:
+			cells[i] = x
+		default:
+			cells[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	return t.AddRow(cells...)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString(t.title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	if err != nil {
+		return fmt.Errorf("report: write text: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the table as RFC-4180 CSV (header row first).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				sb.WriteByte('"')
+				sb.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				sb.WriteByte('"')
+			} else {
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteString("\r\n")
+	}
+	writeRow(t.headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("report: write csv: %w", err)
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown table.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var sb strings.Builder
+	if t.title != "" {
+		sb.WriteString("### ")
+		sb.WriteString(t.title)
+		sb.WriteString("\n\n")
+	}
+	sb.WriteString("| ")
+	sb.WriteString(strings.Join(t.headers, " | "))
+	sb.WriteString(" |\n|")
+	for range t.headers {
+		sb.WriteString("---|")
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.rows {
+		sb.WriteString("| ")
+		sb.WriteString(strings.Join(row, " | "))
+		sb.WriteString(" |\n")
+	}
+	if _, err := io.WriteString(w, sb.String()); err != nil {
+		return fmt.Errorf("report: write markdown: %w", err)
+	}
+	return nil
+}
+
+// FormatProb formats a probability with six significant decimals, the
+// precision at which the paper states its Theorem 6.2 constants.
+func FormatProb(p float64) string {
+	return strconv.FormatFloat(p, 'f', 6, 64)
+}
+
+// FormatInterval formats a [lo, hi] interval.
+func FormatInterval(lo, hi float64) string {
+	return "[" + FormatProb(lo) + ", " + FormatProb(hi) + "]"
+}
+
+// FormatRatio formats a ratio with four decimals.
+func FormatRatio(r float64) string {
+	return strconv.FormatFloat(r, 'f', 4, 64)
+}

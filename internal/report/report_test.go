@@ -1,0 +1,148 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("t"); !errors.Is(err, ErrBadTable) {
+		t.Error("headerless table accepted")
+	}
+}
+
+func TestAddRowValidation(t *testing.T) {
+	tbl, err := NewTable("t", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("only-one"); !errors.Is(err, ErrBadTable) {
+		t.Error("short row accepted")
+	}
+	if err := tbl.AddRow("1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 1 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestAddRowDefensiveCopy(t *testing.T) {
+	tbl, err := NewTable("t", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := []string{"x"}
+	if err := tbl.AddRow(cells...); err != nil {
+		t.Fatal(err)
+	}
+	cells[0] = "mutated"
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "mutated") {
+		t.Error("table aliases caller slice")
+	}
+}
+
+func TestAddRowValues(t *testing.T) {
+	tbl, err := NewTable("t", "model", "p", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRowValues("SC", 0.166667, 42); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"SC", "0.166667", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextAlignment(t *testing.T) {
+	tbl, err := NewTable("Title", "col", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("longvalue", "1"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "longvalue") {
+		t.Errorf("data line = %q", lines[3])
+	}
+}
+
+func TestWriteCSVEscaping(t *testing.T) {
+	tbl, err := NewTable("", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow(`has,comma`, `has"quote`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"has,comma"`) {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("quote not doubled: %q", out)
+	}
+	if !strings.HasPrefix(out, "a,b\r\n") {
+		t.Errorf("header = %q", out)
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tbl, err := NewTable("My Table", "m", "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("SC", "1/6"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"### My Table", "| m | v |", "|---|---|", "| SC | 1/6 |"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatProb(1.0 / 6.0); got != "0.166667" {
+		t.Errorf("FormatProb = %q", got)
+	}
+	if got := FormatInterval(0.1315, 0.1369); got != "[0.131500, 0.136900]" {
+		t.Errorf("FormatInterval = %q", got)
+	}
+	if got := FormatRatio(9.0 / 7.0); got != "1.2857" {
+		t.Errorf("FormatRatio = %q", got)
+	}
+}

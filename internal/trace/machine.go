@@ -1,0 +1,35 @@
+// machine.go converts a machine-simulator run into a trace the race
+// detector can analyze.
+package trace
+
+import (
+	"fmt"
+
+	"memreliability/internal/machine"
+)
+
+// EventsFromRun converts the committed action sequence of a machine run
+// (machine.Sim.RunRandom's second return value) into memory-access events
+// in global commit order. Non-memory operations (ALU ops, fences) emit no
+// event.
+func EventsFromRun(p machine.Program, seq []machine.Action) ([]Event, error) {
+	events := make([]Event, 0, len(seq))
+	for i, a := range seq {
+		if a.Thread < 0 || a.Thread >= len(p.Threads) {
+			return nil, fmt.Errorf("%w: action %d thread %d out of range", ErrBadTrace, i, a.Thread)
+		}
+		ops := p.Threads[a.Thread].Ops
+		if a.Op < 0 || a.Op >= len(ops) {
+			return nil, fmt.Errorf("%w: action %d op %d out of range", ErrBadTrace, i, a.Op)
+		}
+		switch op := ops[a.Op].(type) {
+		case machine.LoadOp:
+			events = append(events, Event{Thread: a.Thread, Kind: Read, Addr: op.Addr})
+		case machine.StoreOp:
+			events = append(events, Event{Thread: a.Thread, Kind: Write, Addr: op.Addr})
+		case machine.RMWAddOp:
+			events = append(events, Event{Thread: a.Thread, Kind: AtomicRMW, Addr: op.Addr})
+		}
+	}
+	return events, nil
+}

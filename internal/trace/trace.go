@@ -1,0 +1,288 @@
+// Package trace provides vector clocks, happens-before tracking, and a
+// dynamic data-race detector over execution traces (a FastTrack-style
+// analysis restricted to the machine package's operations: plain loads and
+// stores race, atomic read-modify-writes synchronize).
+//
+// The detector gives the operational counterpart of the paper's notion of
+// bug manifestation: the §2.2 increment race is a data race exactly
+// because its plain critical load and store are unordered by
+// happens-before across threads.
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBadTrace reports a malformed event or trace.
+var ErrBadTrace = errors.New("trace: bad trace")
+
+// VectorClock maps thread indices to logical clocks. The zero value (nil)
+// is a valid all-zeros clock.
+type VectorClock map[int]uint64
+
+// Copy returns an independent copy.
+func (vc VectorClock) Copy() VectorClock {
+	out := make(VectorClock, len(vc))
+	for t, c := range vc {
+		out[t] = c
+	}
+	return out
+}
+
+// Get returns the clock component for thread t (0 if absent).
+func (vc VectorClock) Get(t int) uint64 { return vc[t] }
+
+// Tick increments thread t's component.
+func (vc VectorClock) Tick(t int) { vc[t]++ }
+
+// Join sets vc to the pointwise maximum of vc and other.
+func (vc VectorClock) Join(other VectorClock) {
+	for t, c := range other {
+		if c > vc[t] {
+			vc[t] = c
+		}
+	}
+}
+
+// LessOrEqual reports whether vc ≤ other pointwise (vc happens-before or
+// equals other).
+func (vc VectorClock) LessOrEqual(other VectorClock) bool {
+	for t, c := range vc {
+		if c > other[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock precedes the other.
+func Concurrent(a, b VectorClock) bool {
+	return !a.LessOrEqual(b) && !b.LessOrEqual(a)
+}
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	// Read is a plain (non-atomic) load.
+	Read EventKind = iota + 1
+	// Write is a plain (non-atomic) store.
+	Write
+	// AtomicRMW is an atomic read-modify-write; it synchronizes
+	// (acquire+release) on its address and never races with other atomics.
+	AtomicRMW
+)
+
+// String returns the kind mnemonic.
+func (k EventKind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	case AtomicRMW:
+		return "RMW"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one memory access in an execution trace, in global commit
+// order.
+type Event struct {
+	// Thread is the acting thread index (≥ 0).
+	Thread int
+	// Kind is the access kind.
+	Kind EventKind
+	// Addr is the memory address accessed.
+	Addr string
+}
+
+// Race describes one detected data race: two concurrent conflicting plain
+// accesses (or a plain access concurrent with an atomic to the same
+// address).
+type Race struct {
+	Addr string
+	// First and Second are the trace indices of the racing events.
+	First, Second int
+	// Kinds of the two events.
+	FirstKind, SecondKind EventKind
+}
+
+// String renders the race.
+func (r Race) String() string {
+	return fmt.Sprintf("race on %s: event %d (%s) vs event %d (%s)",
+		r.Addr, r.First, r.FirstKind, r.Second, r.SecondKind)
+}
+
+// varState tracks per-address access history for the detector.
+type varState struct {
+	// lastWrite is the VC of the writing thread at its last plain write,
+	// plus the event index and thread.
+	lastWriteVC  VectorClock
+	lastWriteIdx int
+	hasWrite     bool
+	// reads holds, per thread, the VC at that thread's last plain read.
+	readVCs  map[int]VectorClock
+	readIdxs map[int]int
+	// syncVC is the release clock transferred through atomics on this
+	// address.
+	syncVC VectorClock
+	// lastAtomicIdx tracks the most recent atomic event (for mixed-access
+	// race reporting).
+	lastAtomicVC  VectorClock
+	lastAtomicIdx int
+	hasAtomic     bool
+}
+
+// Detector is an online happens-before race detector.
+type Detector struct {
+	clocks map[int]VectorClock
+	vars   map[string]*varState
+	races  []Race
+	next   int
+}
+
+// NewDetector returns an empty detector.
+func NewDetector() *Detector {
+	return &Detector{
+		clocks: make(map[int]VectorClock),
+		vars:   make(map[string]*varState),
+	}
+}
+
+// threadClock returns (creating if needed) thread t's clock.
+func (d *Detector) threadClock(t int) VectorClock {
+	vc, ok := d.clocks[t]
+	if !ok {
+		vc = VectorClock{t: 1}
+		d.clocks[t] = vc
+	}
+	return vc
+}
+
+func (d *Detector) varState(addr string) *varState {
+	vs, ok := d.vars[addr]
+	if !ok {
+		vs = &varState{
+			readVCs:  make(map[int]VectorClock),
+			readIdxs: make(map[int]int),
+		}
+		d.vars[addr] = vs
+	}
+	return vs
+}
+
+// Observe feeds the next event (in global commit order) to the detector.
+// Any races it completes are appended to Races.
+func (d *Detector) Observe(e Event) error {
+	if e.Thread < 0 {
+		return fmt.Errorf("%w: negative thread %d", ErrBadTrace, e.Thread)
+	}
+	if e.Addr == "" {
+		return fmt.Errorf("%w: empty address", ErrBadTrace)
+	}
+	idx := d.next
+	d.next++
+	vc := d.threadClock(e.Thread)
+	vs := d.varState(e.Addr)
+
+	switch e.Kind {
+	case Read:
+		// Race iff some plain write (or atomic) is concurrent.
+		if vs.hasWrite && !vs.lastWriteVC.LessOrEqual(vc) {
+			d.races = append(d.races, Race{
+				Addr: e.Addr, First: vs.lastWriteIdx, Second: idx,
+				FirstKind: Write, SecondKind: Read,
+			})
+		}
+		if vs.hasAtomic && !vs.lastAtomicVC.LessOrEqual(vc) {
+			d.races = append(d.races, Race{
+				Addr: e.Addr, First: vs.lastAtomicIdx, Second: idx,
+				FirstKind: AtomicRMW, SecondKind: Read,
+			})
+		}
+		vs.readVCs[e.Thread] = vc.Copy()
+		vs.readIdxs[e.Thread] = idx
+	case Write:
+		if vs.hasWrite && !vs.lastWriteVC.LessOrEqual(vc) {
+			d.races = append(d.races, Race{
+				Addr: e.Addr, First: vs.lastWriteIdx, Second: idx,
+				FirstKind: Write, SecondKind: Write,
+			})
+		}
+		for t, rvc := range vs.readVCs {
+			if t == e.Thread {
+				continue
+			}
+			if !rvc.LessOrEqual(vc) {
+				d.races = append(d.races, Race{
+					Addr: e.Addr, First: vs.readIdxs[t], Second: idx,
+					FirstKind: Read, SecondKind: Write,
+				})
+			}
+		}
+		if vs.hasAtomic && !vs.lastAtomicVC.LessOrEqual(vc) {
+			d.races = append(d.races, Race{
+				Addr: e.Addr, First: vs.lastAtomicIdx, Second: idx,
+				FirstKind: AtomicRMW, SecondKind: Write,
+			})
+		}
+		vs.lastWriteVC = vc.Copy()
+		vs.lastWriteIdx = idx
+		vs.hasWrite = true
+	case AtomicRMW:
+		// Atomics race with concurrent plain accesses...
+		if vs.hasWrite && !vs.lastWriteVC.LessOrEqual(vc) {
+			d.races = append(d.races, Race{
+				Addr: e.Addr, First: vs.lastWriteIdx, Second: idx,
+				FirstKind: Write, SecondKind: AtomicRMW,
+			})
+		}
+		for t, rvc := range vs.readVCs {
+			if t == e.Thread {
+				continue
+			}
+			if !rvc.LessOrEqual(vc) {
+				d.races = append(d.races, Race{
+					Addr: e.Addr, First: vs.readIdxs[t], Second: idx,
+					FirstKind: Read, SecondKind: AtomicRMW,
+				})
+			}
+		}
+		// ...but synchronize with other atomics: acquire the address's
+		// release clock, then publish.
+		vc.Join(vs.syncVC)
+		if vs.syncVC == nil {
+			vs.syncVC = VectorClock{}
+		}
+		vs.syncVC.Join(vc)
+		vs.lastAtomicVC = vc.Copy()
+		vs.lastAtomicIdx = idx
+		vs.hasAtomic = true
+	default:
+		return fmt.Errorf("%w: unknown event kind %v", ErrBadTrace, e.Kind)
+	}
+	vc.Tick(e.Thread)
+	return nil
+}
+
+// Races returns the races detected so far.
+func (d *Detector) Races() []Race {
+	out := make([]Race, len(d.races))
+	copy(out, d.races)
+	return out
+}
+
+// Analyze runs a fresh detector over a complete trace.
+func Analyze(events []Event) ([]Race, error) {
+	d := NewDetector()
+	for i, e := range events {
+		if err := d.Observe(e); err != nil {
+			return nil, fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return d.Races(), nil
+}

@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"memreliability/internal/machine"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+func TestVectorClockBasics(t *testing.T) {
+	var a VectorClock = VectorClock{}
+	a.Tick(0)
+	a.Tick(0)
+	a.Tick(1)
+	if a.Get(0) != 2 || a.Get(1) != 1 || a.Get(7) != 0 {
+		t.Errorf("clock = %v", a)
+	}
+	b := a.Copy()
+	b.Tick(0)
+	if a.Get(0) != 2 {
+		t.Error("Copy aliases")
+	}
+	if !a.LessOrEqual(b) || b.LessOrEqual(a) {
+		t.Error("LessOrEqual wrong")
+	}
+	c := VectorClock{2: 5}
+	if !Concurrent(a, c) {
+		t.Error("disjoint clocks should be concurrent")
+	}
+	a.Join(c)
+	if a.Get(2) != 5 || a.Get(0) != 2 {
+		t.Errorf("Join wrong: %v", a)
+	}
+}
+
+func TestVectorClockPartialOrderLaws(t *testing.T) {
+	src := rng.New(1)
+	randVC := func() VectorClock {
+		vc := VectorClock{}
+		for i := 0; i < 3; i++ {
+			vc[i] = uint64(src.Intn(4))
+		}
+		return vc
+	}
+	f := func(seed uint32) bool {
+		a, b, c := randVC(), randVC(), randVC()
+		// Reflexivity.
+		if !a.LessOrEqual(a) {
+			return false
+		}
+		// Transitivity.
+		if a.LessOrEqual(b) && b.LessOrEqual(c) && !a.LessOrEqual(c) {
+			return false
+		}
+		// Join is an upper bound.
+		j := a.Copy()
+		j.Join(b)
+		return a.LessOrEqual(j) && b.LessOrEqual(j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectorFindsWriteWriteRace(t *testing.T) {
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: Write, Addr: "x"},
+		{Thread: 1, Kind: Write, Addr: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 1 {
+		t.Fatalf("races = %v", races)
+	}
+	r := races[0]
+	if r.Addr != "x" || r.First != 0 || r.Second != 1 {
+		t.Errorf("race = %+v", r)
+	}
+}
+
+func TestDetectorFindsReadWriteRaces(t *testing.T) {
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: Read, Addr: "x"},
+		{Thread: 1, Kind: Write, Addr: "x"},
+		{Thread: 0, Kind: Read, Addr: "x"}, // racing read after unsynced write
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 2 {
+		t.Fatalf("expected read-write and write-read races, got %v", races)
+	}
+}
+
+func TestDetectorNoRaceSameThread(t *testing.T) {
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: Write, Addr: "x"},
+		{Thread: 0, Kind: Read, Addr: "x"},
+		{Thread: 0, Kind: Write, Addr: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Errorf("same-thread accesses raced: %v", races)
+	}
+}
+
+func TestDetectorNoRaceDistinctAddrs(t *testing.T) {
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: Write, Addr: "x"},
+		{Thread: 1, Kind: Write, Addr: "y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Errorf("distinct addresses raced: %v", races)
+	}
+}
+
+func TestAtomicsDoNotRaceWithEachOther(t *testing.T) {
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: AtomicRMW, Addr: "x"},
+		{Thread: 1, Kind: AtomicRMW, Addr: "x"},
+		{Thread: 0, Kind: AtomicRMW, Addr: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Errorf("atomics raced: %v", races)
+	}
+}
+
+func TestAtomicSynchronizesPlainAccesses(t *testing.T) {
+	// T0 writes x, then RMWs on lock; T1 RMWs on lock (acquiring T0's
+	// clock), then writes x: no race, the atomic chain orders the writes.
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: Write, Addr: "x"},
+		{Thread: 0, Kind: AtomicRMW, Addr: "lock"},
+		{Thread: 1, Kind: AtomicRMW, Addr: "lock"},
+		{Thread: 1, Kind: Write, Addr: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 0 {
+		t.Errorf("synchronized writes raced: %v", races)
+	}
+}
+
+func TestWithoutSynchronizationSameShapeRaces(t *testing.T) {
+	// Identical shape but without the atomic chain: must race.
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: Write, Addr: "x"},
+		{Thread: 1, Kind: Write, Addr: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) == 0 {
+		t.Error("unsynchronized writes did not race")
+	}
+}
+
+func TestMixedAtomicPlainRaces(t *testing.T) {
+	races, err := Analyze([]Event{
+		{Thread: 0, Kind: Write, Addr: "x"},
+		{Thread: 1, Kind: AtomicRMW, Addr: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(races) != 1 {
+		t.Errorf("mixed access did not race: %v", races)
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	d := NewDetector()
+	if err := d.Observe(Event{Thread: -1, Kind: Read, Addr: "x"}); !errors.Is(err, ErrBadTrace) {
+		t.Error("negative thread accepted")
+	}
+	if err := d.Observe(Event{Thread: 0, Kind: Read, Addr: ""}); !errors.Is(err, ErrBadTrace) {
+		t.Error("empty addr accepted")
+	}
+	if err := d.Observe(Event{Thread: 0, Kind: EventKind(9), Addr: "x"}); !errors.Is(err, ErrBadTrace) {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" || AtomicRMW.String() != "RMW" {
+		t.Error("kind strings wrong")
+	}
+	if EventKind(9).String() != "EventKind(9)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestRaceString(t *testing.T) {
+	r := Race{Addr: "x", First: 1, Second: 3, FirstKind: Write, SecondKind: Read}
+	if got := r.String(); got != "race on x: event 1 (W) vs event 3 (R)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// incrementRaceProgram is the §2.2 bug as a machine program.
+func incrementRaceProgram() machine.Program {
+	thread := func() machine.Thread {
+		return machine.Thread{Ops: []machine.Op{
+			machine.LoadOp{Addr: "x", Dst: "r"},
+			machine.AddOp{Dst: "r", A: machine.Reg("r"), B: machine.Imm(1)},
+			machine.StoreOp{Addr: "x", Src: machine.Reg("r")},
+		}}
+	}
+	return machine.Program{Threads: []machine.Thread{thread(), thread()}, Init: map[string]int{"x": 0}}
+}
+
+func TestIncrementRaceIsDetected(t *testing.T) {
+	// Every execution of the canonical bug contains a data race, in every
+	// model — races are a property of the program, not of the particular
+	// interleaving observed (§2.2: they can manifest even under SC).
+	src := rng.New(7)
+	p := incrementRaceProgram()
+	for _, model := range memmodel.All() {
+		sim, err := machine.NewSim(p, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			_, seq, err := sim.RunRandom(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events, err := EventsFromRun(p, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			races, err := Analyze(events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(races) == 0 {
+				t.Fatalf("%s: no race detected in increment-race run", model.Name())
+			}
+			for _, r := range races {
+				if r.Addr != "x" {
+					t.Errorf("%s: race on unexpected address %s", model.Name(), r.Addr)
+				}
+			}
+		}
+	}
+}
+
+func TestFixedProgramIsRaceFree(t *testing.T) {
+	fixed := machine.Program{
+		Threads: []machine.Thread{
+			{Ops: []machine.Op{machine.RMWAddOp{Addr: "x", Dst: "r", Delta: 1}}},
+			{Ops: []machine.Op{machine.RMWAddOp{Addr: "x", Dst: "r", Delta: 1}}},
+		},
+		Init: map[string]int{"x": 0},
+	}
+	src := rng.New(8)
+	sim, err := machine.NewSim(fixed, memmodel.WO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		_, seq, err := sim.RunRandom(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := EventsFromRun(fixed, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		races, err := Analyze(events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(races) != 0 {
+			t.Fatalf("atomic-only program raced: %v", races)
+		}
+	}
+}
+
+func TestEventsFromRunValidation(t *testing.T) {
+	p := incrementRaceProgram()
+	if _, err := EventsFromRun(p, []machine.Action{{Thread: 9, Op: 0}}); !errors.Is(err, ErrBadTrace) {
+		t.Error("bad thread accepted")
+	}
+	if _, err := EventsFromRun(p, []machine.Action{{Thread: 0, Op: 9}}); !errors.Is(err, ErrBadTrace) {
+		t.Error("bad op accepted")
+	}
+	events, err := EventsFromRun(p, []machine.Action{{Thread: 0, Op: 0}, {Thread: 0, Op: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ALU op emits no event.
+	if len(events) != 1 || events[0].Kind != Read {
+		t.Errorf("events = %v", events)
+	}
+}

@@ -1,0 +1,140 @@
+// Package memreliability reproduces "The Impact of Memory Models on
+// Software Reliability in Multiprocessors" (Jaffe, Effinger-Dean, Ceze,
+// Moscibroda, Strauss; PODC 2011): a probabilistic model of how memory
+// consistency models affect the likelihood that a canonical concurrency
+// bug manifests.
+//
+// The package is a facade over the implementation packages:
+//
+//   - memory models as reordering matrices (Table 1) with fence support;
+//   - the settling process (§3.1.2) sampling instruction reorderings, plus
+//     an exact finite-program dynamic program validating Theorem 4.1;
+//   - the shift process (§5) with the exact Theorem 5.1 evaluation;
+//   - the joined model (§6) estimating Pr[A], the probability the §2.2
+//     atomicity violation does not manifest, by exact computation (n=2),
+//     full simulation, and the Theorem 6.1 hybrid that reaches the
+//     e^{-Θ(n²)} regime of Theorem 6.3;
+//   - an operational multiprocessor simulator (reorder windows and store
+//     buffers) with a litmus-test harness and a vector-clock race
+//     detector, grounding the abstract model in executable semantics.
+//
+// Types are re-exported as aliases so downstream code needs only this
+// package for the common workflows; the cmd/ tools and examples/ show
+// complete usage.
+package memreliability
+
+import (
+	"context"
+
+	"memreliability/internal/analytic"
+	"memreliability/internal/core"
+	"memreliability/internal/litmus"
+	"memreliability/internal/machine"
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/settle"
+)
+
+// Model is a memory consistency model (a Table 1 reordering matrix).
+type Model = memmodel.Model
+
+// Interval is a two-sided probability bound.
+type Interval = analytic.Interval
+
+// Config configures a joined-model experiment.
+type Config = core.Config
+
+// HybridResult is a Theorem 6.1 hybrid estimate.
+type HybridResult = core.HybridResult
+
+// ScalingRow is one row of a Theorem 6.3 thread-scaling sweep.
+type ScalingRow = core.ScalingRow
+
+// LitmusTest is a named litmus test with per-model expectations.
+type LitmusTest = litmus.Test
+
+// LitmusResult is a litmus conformance result.
+type LitmusResult = litmus.Result
+
+// MachineProgram is an operational multiprocessor program.
+type MachineProgram = machine.Program
+
+// SC returns Sequential Consistency.
+func SC() Model { return memmodel.SC() }
+
+// TSO returns Total Store Order.
+func TSO() Model { return memmodel.TSO() }
+
+// PSO returns Partial Store Order.
+func PSO() Model { return memmodel.PSO() }
+
+// WO returns Weak Ordering.
+func WO() Model { return memmodel.WO() }
+
+// AllModels returns the four canonical models, strongest first.
+func AllModels() []Model { return memmodel.All() }
+
+// ModelByName resolves "SC", "TSO", "PSO", or "WO" (case-insensitive).
+func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
+
+// WindowDistribution returns the exact distribution of the critical-window
+// growth Pr[B_γ], γ ∈ [0, maxGamma], for a random program of the given
+// prefix length settled under the model with the paper's normal-form
+// parameters p = s = 1/2 (Theorem 4.1's quantity, at finite m).
+func WindowDistribution(model Model, prefixLen, maxGamma int) ([]float64, error) {
+	pmf, err := settle.ExactWindowDist(model, prefixLen, 0.5, 0.5, maxGamma)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, maxGamma+1)
+	for gamma := range out {
+		out[gamma] = pmf.At(gamma)
+	}
+	return out, nil
+}
+
+// TwoThreadNoBugProbability returns rigorous bounds on Pr[A] for two
+// threads under the model (Theorem 6.2's quantity), computed exactly from
+// the settling dynamic program.
+func TwoThreadNoBugProbability(model Model) (Interval, error) {
+	cfg := Config{Model: model, Threads: 2, PrefixLen: 16, StoreProb: 0.5, SwapProb: 0.5}
+	return core.ExactTwoThreadPrA(cfg)
+}
+
+// NoBugProbability estimates Pr[A] for the given model and thread count by
+// full Monte Carlo over the joined process, returning the point estimate
+// with a 99% Wilson interval.
+func NoBugProbability(ctx context.Context, model Model, threads, trials int, seed uint64) (estimate, lo, hi float64, err error) {
+	cfg := core.DefaultConfig(model, threads)
+	res, err := core.EstimateNoBugProb(ctx, cfg, mc.Config{Trials: trials, Seed: seed})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	lo, hi, err = res.WilsonCI(0.99)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.Estimate(), lo, hi, nil
+}
+
+// HybridNoBugProbability estimates Pr[A] via Theorem 6.1 (analytic shift
+// combinatorics, Monte Carlo window expectation); unlike NoBugProbability
+// it stays accurate when Pr[A] is astronomically small.
+func HybridNoBugProbability(ctx context.Context, model Model, threads, trials int, seed uint64) (*HybridResult, error) {
+	cfg := core.DefaultConfig(model, threads)
+	return core.HybridPrA(ctx, cfg, mc.Config{Trials: trials, Seed: seed})
+}
+
+// ThreadScaling sweeps thread counts for the given models and reports the
+// Theorem 6.3 normalized decay rates −ln Pr[A]/n² and their ratio to SC.
+func ThreadScaling(ctx context.Context, models []Model, ns []int, trials int, seed uint64) ([]ScalingRow, error) {
+	return core.ThreadScalingSweep(ctx, models, ns, 64, mc.Config{Trials: trials, Seed: seed})
+}
+
+// LitmusTests returns the built-in litmus registry (SB, MP, LB, 2+2W,
+// CoRR, IRIW, INC).
+func LitmusTests() []LitmusTest { return litmus.Registry() }
+
+// LitmusCheckAll exhaustively checks every registered litmus test under
+// every canonical model against its expected allowed/forbidden status.
+func LitmusCheckAll() ([]LitmusResult, error) { return litmus.CheckAll() }

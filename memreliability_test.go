@@ -1,0 +1,101 @@
+package memreliability
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestFacadeModels(t *testing.T) {
+	if len(AllModels()) != 4 {
+		t.Fatal("AllModels wrong")
+	}
+	names := []string{"SC", "TSO", "PSO", "WO"}
+	for i, m := range AllModels() {
+		if m.Name() != names[i] {
+			t.Errorf("model %d = %s, want %s", i, m.Name(), names[i])
+		}
+	}
+	m, err := ModelByName("tso")
+	if err != nil || m.Name() != "TSO" {
+		t.Errorf("ModelByName = %v, %v", m.Name(), err)
+	}
+}
+
+func TestFacadeWindowDistribution(t *testing.T) {
+	dist, err := WindowDistribution(WO(), 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist) != 7 {
+		t.Fatalf("len = %d", len(dist))
+	}
+	if math.Abs(dist[0]-2.0/3.0) > 1e-3 {
+		t.Errorf("WO Pr[B_0] = %v", dist[0])
+	}
+}
+
+func TestFacadeTwoThreadProbabilities(t *testing.T) {
+	sc, err := TwoThreadNoBugProbability(SC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sc.Midpoint()-1.0/6.0) > 1e-6 {
+		t.Errorf("SC = %+v", sc)
+	}
+	wo, err := TwoThreadNoBugProbability(WO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wo.Midpoint()-7.0/54.0) > 1e-4 {
+		t.Errorf("WO = %+v", wo)
+	}
+}
+
+func TestFacadeNoBugProbability(t *testing.T) {
+	ctx := context.Background()
+	est, lo, hi, err := NoBugProbability(ctx, TSO(), 2, 60000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > est || est > hi {
+		t.Errorf("estimate %v outside its own CI [%v, %v]", est, lo, hi)
+	}
+	// Paper: TSO n=2 in (0.1315, 0.1369); allow MC slack.
+	if est < 0.12 || est > 0.15 {
+		t.Errorf("TSO estimate %v implausible", est)
+	}
+}
+
+func TestFacadeHybridAndScaling(t *testing.T) {
+	ctx := context.Background()
+	res, err := HybridNoBugProbability(ctx, WO(), 4, 20000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LogPrA >= 0 {
+		t.Errorf("LogPrA = %v", res.LogPrA)
+	}
+	rows, err := ThreadScaling(ctx, []Model{SC(), WO()}, []int{2, 4}, 20000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFacadeLitmus(t *testing.T) {
+	if len(LitmusTests()) < 7 {
+		t.Error("registry too small")
+	}
+	results, err := LitmusCheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Conforms() {
+			t.Errorf("%s under %s does not conform", r.Test, r.Model)
+		}
+	}
+}
