@@ -1,0 +1,27 @@
+# Targets mirror .github/workflows/ci.yml step for step, so local runs and
+# CI stay in lockstep.
+
+GO ?= go
+
+.PHONY: all build test bench lint ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$'
+
+lint:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) vet ./examples/...
+
+ci: lint build test bench

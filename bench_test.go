@@ -24,6 +24,7 @@ import (
 	"memreliability/internal/rng"
 	"memreliability/internal/settle"
 	"memreliability/internal/shift"
+	"memreliability/internal/sweep"
 	"memreliability/internal/trace"
 
 	"testing"
@@ -343,25 +344,29 @@ func BenchmarkTheorem62TwoThreads(b *testing.B) {
 			"PSO": "(no closed form; footnote 4)",
 			"WO":  "7/54 ≈ " + report.FormatProb(analytic.Theorem62WO),
 		}
+		// The models × {exact DP, full MC} grid runs through the sweep
+		// engine; exact cells clamp m to the DP cap automatically.
+		names := make([]string, 0, 4)
 		for _, model := range memmodel.All() {
-			cfg := core.Config{Model: model, Threads: 2, PrefixLen: 16, StoreProb: 0.5, SwapProb: 0.5}
-			iv, err := core.ExactTwoThreadPrA(cfg)
-			if err != nil {
-				return nil, err
-			}
-			simCfg := core.DefaultConfig(model, 2)
-			res, err := core.EstimateNoBugProb(context.Background(), simCfg,
-				mc.Config{Trials: 200000, Seed: 62})
-			if err != nil {
-				return nil, err
-			}
-			lo, hi, err := res.WilsonCI(0.99)
-			if err != nil {
-				return nil, err
-			}
-			if err := tbl.AddRowValues(model.Name(), paper[model.Name()],
-				iv.Midpoint(),
-				report.FormatProb(res.Estimate())+" "+report.FormatInterval(lo, hi)); err != nil {
+			names = append(names, model.Name())
+		}
+		spec := sweep.DefaultSpec()
+		spec.Models = names
+		spec.Threads = []int{2}
+		spec.PrefixLens = []int{64}
+		spec.Estimators = []sweep.Kind{sweep.Exact, sweep.FullMC}
+		spec.Trials = 200000
+		spec.Seed = 62
+		art, err := sweep.Run(context.Background(), spec, sweep.Options{})
+		if err != nil {
+			return nil, err
+		}
+		// Cells per model: exact first, then full MC.
+		for i := 0; i+1 < len(art.Cells); i += 2 {
+			exact, fullMC := art.Cells[i], art.Cells[i+1]
+			if err := tbl.AddRowValues(exact.Model, paper[exact.Model],
+				exact.Estimate,
+				report.FormatProb(fullMC.Estimate)+" "+report.FormatInterval(fullMC.Lo, fullMC.Hi)); err != nil {
 				return nil, err
 			}
 		}
@@ -386,7 +391,7 @@ func BenchmarkTheorem63ThreadScaling(b *testing.B) {
 			return nil, err
 		}
 		models := []memmodel.Model{memmodel.SC(), memmodel.TSO(), memmodel.WO()}
-		rows, err := core.ThreadScalingSweep(context.Background(), models,
+		rows, err := sweep.ThreadScaling(context.Background(), models,
 			[]int{2, 3, 4, 6, 8, 12}, 48, mc.Config{Trials: 60000, Seed: 63})
 		if err != nil {
 			return nil, err
@@ -696,6 +701,25 @@ func BenchmarkLitmusConformance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := litmus.Check(sb, memmodel.TSO()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation: sweep-engine orchestration overhead ---
+
+func BenchmarkSweepEngine(b *testing.B) {
+	spec := sweep.Spec{
+		Models:     []string{"SC", "TSO", "WO"},
+		Threads:    []int{2, 4},
+		PrefixLens: []int{16},
+		Estimators: []sweep.Kind{sweep.Exact, sweep.Hybrid},
+		Trials:     500,
+		Seed:       1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweep.Run(context.Background(), spec, sweep.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

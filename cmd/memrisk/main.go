@@ -1,6 +1,7 @@
 // memrisk computes the paper's bug-manifestation probabilities for a given
 // memory model and thread count, using all three estimation routes
-// (analytic/exact DP, full Monte Carlo, Theorem 6.1 hybrid).
+// (analytic/exact DP, full Monte Carlo, Theorem 6.1 hybrid). Both modes
+// are thin front-ends over the internal/sweep orchestration engine.
 //
 // Usage:
 //
@@ -17,11 +18,16 @@ import (
 	"os"
 
 	"memreliability/internal/analytic"
-	"memreliability/internal/core"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
 	"memreliability/internal/report"
+	"memreliability/internal/sweep"
 )
+
+// fullMCMaxThreads bounds the thread count for which full Monte Carlo is
+// worth running: beyond it Pr[A] is too small to sample directly
+// (Theorem 6.3's e^{-Θ(n²)} regime) and only the hybrid route is used.
+const fullMCMaxThreads = 4
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -39,13 +45,13 @@ func run(args []string, out io.Writer) error {
 	prefixLen := fs.Int("m", 64, "program prefix length m")
 	storeProb := fs.Float64("p", 0.5, "store probability p")
 	swapProb := fs.Float64("s", 0.5, "swap probability s")
-	sweep := fs.Bool("sweep", false, "run the Theorem 6.3 thread-scaling sweep instead")
+	doSweep := fs.Bool("sweep", false, "run the Theorem 6.3 thread-scaling sweep instead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ctx := context.Background()
 
-	if *sweep {
+	if *doSweep {
 		return runSweep(ctx, out, *trials, *seed)
 	}
 
@@ -53,14 +59,30 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{
-		Model:     model,
-		Threads:   *threads,
-		PrefixLen: *prefixLen,
-		StoreProb: *storeProb,
-		SwapProb:  *swapProb,
+
+	// One grid point, every applicable estimator: the sweep engine runs
+	// the estimation routes and memrisk only annotates the paper's
+	// Theorem 6.2 constants alongside.
+	var estimators []sweep.Kind
+	if *threads == 2 {
+		estimators = append(estimators, sweep.Exact)
 	}
-	if err := cfg.Validate(); err != nil {
+	if *threads <= fullMCMaxThreads {
+		estimators = append(estimators, sweep.FullMC)
+	}
+	estimators = append(estimators, sweep.Hybrid)
+	spec := sweep.Spec{
+		Models:     []string{model.Name()},
+		Threads:    []int{*threads},
+		PrefixLens: []int{*prefixLen},
+		Estimators: estimators,
+		Trials:     *trials,
+		Seed:       *seed,
+		StoreProb:  *storeProb,
+		SwapProb:   *swapProb,
+	}
+	art, err := sweep.Run(ctx, spec, sweep.Options{})
+	if err != nil {
 		return err
 	}
 
@@ -71,69 +93,41 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-
-	if *threads == 2 {
-		exactCfg := cfg
-		if exactCfg.PrefixLen > 16 {
-			exactCfg.PrefixLen = 16
+	for _, c := range art.Cells {
+		if c.Skipped {
+			continue
 		}
-		iv, err := core.ExactTwoThreadPrA(exactCfg)
-		if err != nil {
+		if err := tbl.AddRowValues(c.Estimator.DisplayName(), c.Estimate, c.Notes()); err != nil {
 			return err
 		}
-		if err := tbl.AddRowValues("exact DP (n=2)", iv.Midpoint(),
-			report.FormatInterval(iv.Lo, iv.Hi)); err != nil {
-			return err
-		}
-		switch model.Name() {
-		case "SC":
-			if err := tbl.AddRowValues("paper (Thm 6.2)", analytic.Theorem62SC, "1/6"); err != nil {
-				return err
-			}
-		case "WO":
-			if err := tbl.AddRowValues("paper (Thm 6.2)", analytic.Theorem62WO, "7/54"); err != nil {
-				return err
-			}
-		case "TSO":
-			paper := analytic.Theorem62TSO()
-			if err := tbl.AddRowValues("paper (Thm 6.2)", paper.Midpoint(),
-				report.FormatInterval(paper.Lo, paper.Hi)); err != nil {
+		if c.Estimator == sweep.Exact {
+			if err := addPaperRow(tbl, model.Name()); err != nil {
 				return err
 			}
 		}
 	}
-
-	mcCfg := mc.Config{Trials: *trials, Seed: *seed}
-	if *threads <= 4 {
-		res, err := core.EstimateNoBugProb(ctx, cfg, mcCfg)
-		if err != nil {
-			return err
-		}
-		lo, hi, err := res.WilsonCI(0.99)
-		if err != nil {
-			return err
-		}
-		if err := tbl.AddRowValues("full Monte Carlo", res.Estimate(),
-			"99% CI "+report.FormatInterval(lo, hi)); err != nil {
-			return err
-		}
-	}
-
-	hyb, err := core.HybridPrA(ctx, cfg, mcCfg)
-	if err != nil {
-		return err
-	}
-	if err := tbl.AddRowValues("hybrid (Thm 6.1)", hyb.PrA,
-		fmt.Sprintf("ln Pr[A] = %s", report.FormatRatio(hyb.LogPrA))); err != nil {
-		return err
-	}
-
 	return tbl.WriteText(out)
+}
+
+// addPaperRow appends the paper's Theorem 6.2 closed-form constant, where
+// one exists, directly under the exact-DP row.
+func addPaperRow(tbl *report.Table, model string) error {
+	switch model {
+	case "SC":
+		return tbl.AddRowValues("paper (Thm 6.2)", analytic.Theorem62SC, "1/6")
+	case "WO":
+		return tbl.AddRowValues("paper (Thm 6.2)", analytic.Theorem62WO, "7/54")
+	case "TSO":
+		paper := analytic.Theorem62TSO()
+		return tbl.AddRowValues("paper (Thm 6.2)", paper.Midpoint(),
+			report.FormatInterval(paper.Lo, paper.Hi))
+	}
+	return nil
 }
 
 func runSweep(ctx context.Context, out io.Writer, trials int, seed uint64) error {
 	models := []memmodel.Model{memmodel.SC(), memmodel.TSO(), memmodel.PSO(), memmodel.WO()}
-	rows, err := core.ThreadScalingSweep(ctx, models, []int{2, 3, 4, 6, 8, 12, 16}, 48,
+	rows, err := sweep.ThreadScaling(ctx, models, []int{2, 3, 4, 6, 8, 12, 16}, 48,
 		mc.Config{Trials: trials, Seed: seed})
 	if err != nil {
 		return err

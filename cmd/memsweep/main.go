@@ -1,0 +1,186 @@
+// memsweep runs a declarative experiment sweep: a grid of memory models ×
+// thread counts × prefix lengths × estimator kinds, sharded across a
+// worker pool, with a reproducible JSON artifact. The artifact depends
+// only on the spec — identical (spec, seed) give identical bytes at any
+// -workers value.
+//
+// Usage:
+//
+//	memsweep -models SC,TSO -threads 2,4,8 -estimators hybrid -trials 50000
+//	memsweep -spec sweep.json -o artifact.json
+//	memsweep -models WO -estimators windowdist -m 16 -maxgamma 8 -format csv
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"memreliability/internal/sweep"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "memsweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out, progress io.Writer) error {
+	fs := flag.NewFlagSet("memsweep", flag.ContinueOnError)
+	fs.SetOutput(progress)
+	specPath := fs.String("spec", "", "load the sweep spec from a JSON file (grid flags are ignored)")
+	models := fs.String("models", "SC,TSO,PSO,WO", "comma-separated memory models")
+	threads := fs.String("threads", "2,4", "comma-separated thread counts n")
+	prefixLens := fs.String("m", "64", "comma-separated prefix lengths m")
+	estimators := fs.String("estimators", "hybrid", "comma-separated estimators: exact, mc, hybrid, windowdist")
+	trials := fs.Int("trials", 50000, "Monte Carlo trials per cell")
+	seed := fs.Uint64("seed", 1, "experiment seed (fully determines the artifact)")
+	storeProb := fs.Float64("p", 0.5, "store probability p")
+	swapProb := fs.Float64("s", 0.5, "swap probability s")
+	maxGamma := fs.Int("maxgamma", 8, "tabulated support bound for windowdist cells")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
+	outPath := fs.String("o", "", "write the JSON artifact to this file")
+	format := fs.String("format", "text", "stdout rendering: text, csv, markdown, or json")
+	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
+	timing := fs.Bool("timing", false, "record per-cell wall-clock time (breaks byte-level artifact reproducibility)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Reject a bad -format before the sweep runs, not after minutes of
+	// compute.
+	switch *format {
+	case "text", "csv", "markdown", "md", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, csv, markdown, or json)", *format)
+	}
+
+	var spec sweep.Spec
+	if *specPath != "" {
+		data, err := os.ReadFile(*specPath)
+		if err != nil {
+			return fmt.Errorf("load spec: %w", err)
+		}
+		// Decode over the paper-defaults base: omitted scalar fields
+		// keep the normal form, explicit zeros stick.
+		spec = sweep.DefaultSpec()
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return fmt.Errorf("parse spec %s: %w", *specPath, err)
+		}
+	} else {
+		var err error
+		spec, err = specFromFlags(*models, *threads, *prefixLens, *estimators)
+		if err != nil {
+			return err
+		}
+		spec.Trials = *trials
+		spec.Seed = *seed
+		spec.StoreProb = *storeProb
+		spec.SwapProb = *swapProb
+		spec.MaxGamma = *maxGamma
+	}
+	if *workers != 0 {
+		// Only override the spec file's worker budget when the flag was
+		// actually given a value; either way results are unaffected.
+		spec.Workers = *workers
+	}
+
+	total := len(spec.Normalized().Expand())
+	opts := sweep.Options{Timing: *timing}
+	if !*quiet {
+		done := 0
+		opts.Sink = func(c sweep.CellResult) {
+			done++
+			status := ""
+			if c.Skipped {
+				status = " (skipped)"
+			}
+			fmt.Fprintf(progress, "cell %d/%d done: model=%s n=%d m=%d %s%s\n",
+				done, total, c.Model, c.Threads, c.PrefixLen, c.Estimator, status)
+		}
+	}
+
+	art, err := sweep.Run(ctx, spec, opts)
+	if err != nil {
+		return err
+	}
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return fmt.Errorf("create artifact: %w", err)
+		}
+		if err := art.EncodeJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close artifact: %w", err)
+		}
+	}
+
+	if *format == "json" {
+		return art.EncodeJSON(out)
+	}
+	tbl, err := art.Table()
+	if err != nil {
+		return err
+	}
+	return tbl.Write(out, *format)
+}
+
+// specFromFlags assembles a Spec from the comma-separated grid flags.
+func specFromFlags(models, threads, prefixLens, estimators string) (sweep.Spec, error) {
+	var spec sweep.Spec
+	spec.Models = splitList(models)
+	ns, err := splitInts(threads)
+	if err != nil {
+		return spec, fmt.Errorf("bad -threads: %w", err)
+	}
+	spec.Threads = ns
+	ms, err := splitInts(prefixLens)
+	if err != nil {
+		return spec, fmt.Errorf("bad -m: %w", err)
+	}
+	spec.PrefixLens = ms
+	for _, name := range splitList(estimators) {
+		spec.Estimators = append(spec.Estimators, sweep.Kind(strings.ToLower(name)))
+	}
+	return spec, nil
+}
+
+// splitList splits a comma-separated list, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// splitInts splits a comma-separated list of integers.
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runArtifact runs memsweep against testdata/spec.json with the given
+// worker budget and returns the artifact bytes.
+func runArtifact(t *testing.T, workers string) []byte {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "artifact.json")
+	var table strings.Builder
+	err := run(context.Background(),
+		[]string{"-spec", filepath.Join("testdata", "spec.json"), "-workers", workers, "-o", out, "-quiet"},
+		&table, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestGoldenArtifact is the reproducibility acceptance test: a fixed-seed
+// spec must produce byte-identical JSON artifacts across runs and across
+// worker counts, and must match the committed golden file.
+func TestGoldenArtifact(t *testing.T) {
+	one := runArtifact(t, "1")
+	again := runArtifact(t, "1")
+	four := runArtifact(t, "4")
+	if !bytes.Equal(one, again) {
+		t.Error("artifact differs across runs with identical spec")
+	}
+	if !bytes.Equal(one, four) {
+		t.Error("artifact differs between -workers 1 and -workers 4")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one, golden) {
+		t.Errorf("artifact does not match testdata/golden.json\ngot:\n%s\nwant:\n%s", one, golden)
+	}
+}
+
+func TestRunGridFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-models", "SC,WO", "-threads", "2", "-m", "12", "-estimators", "exact,hybrid",
+			"-trials", "200", "-seed", "3", "-quiet"},
+		&sb, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"exact DP (n=2)", "hybrid (Thm 6.1)", "SC", "WO"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-models", "SC", "-threads", "2", "-m", "12", "-estimators", "exact",
+			"-seed", "3", "-format", "json", "-quiet"},
+		&sb, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"schema_version": 1`) {
+		t.Errorf("json output malformed:\n%s", sb.String())
+	}
+}
+
+func TestRunProgressStreams(t *testing.T) {
+	var table, progress strings.Builder
+	err := run(context.Background(),
+		[]string{"-models", "SC", "-threads", "2,4", "-m", "12", "-estimators", "exact",
+			"-seed", "3"},
+		&table, &progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "cell 1/2 done") ||
+		!strings.Contains(progress.String(), "cell 2/2 done") {
+		t.Errorf("progress output malformed:\n%s", progress.String())
+	}
+	if !strings.Contains(progress.String(), "(skipped)") {
+		t.Errorf("skipped exact n=4 cell not reported:\n%s", progress.String())
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"-models", "RC"},
+		{"-threads", "two"},
+		{"-m", "x"},
+		{"-estimators", "bogus"},
+		{"-threads", "1"},
+		{"-spec", filepath.Join("testdata", "does-not-exist.json")},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), append(args, "-quiet"), &sb, os.Stderr); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunRejectsUnknownSpecFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(`{"models": ["SC"], "typo_field": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), []string{"-spec", path, "-quiet"}, &sb, os.Stderr); err == nil {
+		t.Error("unknown spec field accepted")
+	}
+}
+
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var sb strings.Builder
+	err := run(ctx, []string{"-models", "SC,TSO,PSO,WO", "-threads", "2,4,8",
+		"-trials", "200000", "-quiet"}, &sb, os.Stderr)
+	if err == nil {
+		t.Error("canceled run succeeded")
+	}
+}
+
+func TestRunRejectsBadFormatUpfront(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-models", "SC", "-format", "yaml", "-quiet"}, &sb, os.Stderr)
+	if err == nil || !strings.Contains(err.Error(), "-format") {
+		t.Errorf("bad format not rejected upfront: %v", err)
+	}
+}

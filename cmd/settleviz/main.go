@@ -1,14 +1,18 @@
 // settleviz renders seeded instantiations of the paper's two random
 // processes as text: the settling process (Figure 1) and the shift process
-// (Figure 2).
+// (Figure 2). It can also tabulate the exact Theorem 4.1 window
+// distribution Pr[B_γ] across models, delegating the model grid to the
+// internal/sweep orchestration engine.
 //
 // Usage:
 //
 //	settleviz -model TSO -m 6 -seed 2011
 //	settleviz -shift 3,2,5 -seed 2011
+//	settleviz -dist -models SC,TSO,PSO,WO -m 16 -maxgamma 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,9 +22,11 @@ import (
 
 	"memreliability/internal/memmodel"
 	"memreliability/internal/prog"
+	"memreliability/internal/report"
 	"memreliability/internal/rng"
 	"memreliability/internal/settle"
 	"memreliability/internal/shift"
+	"memreliability/internal/sweep"
 )
 
 func main() {
@@ -36,15 +42,61 @@ func run(args []string, out io.Writer) error {
 	m := fs.Int("m", 6, "prefix length for the settling trace")
 	seed := fs.Uint64("seed", 2011, "random seed")
 	shiftSpec := fs.String("shift", "", "render a shift-process instantiation for comma-separated lengths instead")
+	dist := fs.Bool("dist", false, "tabulate the exact window distribution Pr[B_γ] per model instead")
+	distModels := fs.String("models", "SC,TSO,PSO,WO", "comma-separated models for -dist")
+	maxGamma := fs.Int("maxgamma", 8, "largest tabulated γ for -dist")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	src := rng.New(*seed)
 
+	if *dist {
+		return renderDist(out, *distModels, *m, *maxGamma)
+	}
+	src := rng.New(*seed)
 	if *shiftSpec != "" {
 		return renderShift(out, *shiftSpec, src)
 	}
 	return renderSettle(out, *modelName, *m, src)
+}
+
+// renderDist tabulates Pr[B_γ] for γ ∈ [0, maxGamma] across the requested
+// models, one sweep cell per model, with the loop sharded by the engine.
+func renderDist(out io.Writer, modelList string, m, maxGamma int) error {
+	var models []string
+	for _, name := range strings.Split(modelList, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			models = append(models, name)
+		}
+	}
+	spec := sweep.DefaultSpec()
+	spec.Models = models
+	spec.PrefixLens = []int{m}
+	spec.Estimators = []sweep.Kind{sweep.WindowDist}
+	spec.MaxGamma = maxGamma
+	art, err := sweep.Run(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		return err
+	}
+	headers := []string{"γ"}
+	for _, c := range art.Cells {
+		headers = append(headers, c.Model)
+	}
+	tbl, err := report.NewTable(
+		fmt.Sprintf("Theorem 4.1: exact window distribution Pr[B_γ] (m=%d)", art.Cells[0].EffectiveM),
+		headers...)
+	if err != nil {
+		return err
+	}
+	for gamma := 0; gamma < len(art.Cells[0].Dist); gamma++ {
+		row := []string{strconv.Itoa(gamma)}
+		for _, c := range art.Cells {
+			row = append(row, report.FormatProb(c.Dist[gamma]))
+		}
+		if err := tbl.AddRow(row...); err != nil {
+			return err
+		}
+	}
+	return tbl.WriteText(out)
 }
 
 func renderSettle(out io.Writer, modelName string, m int, src *rng.Source) error {

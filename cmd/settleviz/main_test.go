@@ -60,3 +60,30 @@ func TestRunDeterministic(t *testing.T) {
 		t.Error("same seed gave different traces")
 	}
 }
+
+func TestRunDistTable(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dist", "-models", "SC,WO", "-m", "12", "-maxgamma", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Pr[B_γ]", "SC", "WO", "m=12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// SC settles nothing: all mass at γ=0.
+	if !strings.Contains(out, "1.000000") {
+		t.Errorf("SC column should have unit mass at γ=0:\n%s", out)
+	}
+}
+
+func TestRunDistRejectsBadModels(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-dist", "-models", "XYZ"}, &sb); err == nil {
+		t.Error("bad -dist model accepted")
+	}
+	if err := run([]string{"-dist", "-models", ""}, &sb); err == nil {
+		t.Error("empty -dist model list accepted")
+	}
+}

@@ -1,0 +1,63 @@
+// sweep demonstrates the declarative experiment-orchestration subsystem:
+// one spec describes a models × threads grid with two estimation routes,
+// the engine shards the cells across a worker pool, and the result is a
+// versioned, byte-reproducible JSON artifact — the same artifact for any
+// worker budget, because every cell derives its randomness from the spec
+// seed and its grid position alone.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"memreliability"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	spec := memreliability.DefaultSweepSpec() // paper normal form: p = s = 1/2
+	spec.Models = []string{"SC", "TSO", "WO"}
+	spec.Threads = []int{2, 4, 8}
+	spec.PrefixLens = []int{48}
+	spec.Estimators = []memreliability.SweepKind{memreliability.SweepExact, memreliability.SweepHybrid}
+	spec.Trials = 20000
+	spec.Seed = 2011
+	spec.Workers = 4 // scheduling only: the artifact is identical at any value
+
+	fmt.Println("Sweep: Pr[A] across models × thread counts (exact DP + Thm 6.1 hybrid)")
+	fmt.Println()
+	art, err := memreliability.RunSweep(ctx, spec, memreliability.SweepOptions{
+		Sink: func(c memreliability.SweepCellResult) {
+			fmt.Printf("  finished cell %2d: model=%-3s n=%d %s\n",
+				c.Index, c.Model, c.Threads, c.Estimator)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Printf("%-5s %3s  %-18s %12s %14s\n", "model", "n", "estimator", "estimate", "ln Pr[A]")
+	for _, c := range art.Cells {
+		if c.Skipped {
+			fmt.Printf("%-5s %3d  %-18s %12s %14s\n", c.Model, c.Threads, c.Estimator, "-", "(skipped)")
+			continue
+		}
+		fmt.Printf("%-5s %3d  %-18s %12.6f %14.4f\n",
+			c.Model, c.Threads, c.Estimator, c.Estimate, c.LogEstimate)
+	}
+
+	fmt.Println()
+	fmt.Println("The artifact serializes to versioned JSON (spec echo + per-cell")
+	fmt.Println("results); rerunning the same spec — at any worker count — yields")
+	fmt.Println("byte-identical output. Try: go run ./cmd/memsweep -spec spec.json")
+	return nil
+}

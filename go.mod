@@ -1,0 +1,3 @@
+module memreliability
+
+go 1.24.0

@@ -255,7 +255,9 @@ func logFactorial(n int) float64 {
 	return sum
 }
 
-// ScalingRow is one row of a Theorem 6.3 thread-scaling sweep.
+// ScalingRow is one row of a Theorem 6.3 thread-scaling sweep. The sweep
+// itself is orchestrated by internal/sweep (ThreadScaling), which shards
+// one hybrid cell per model × n across its worker pool.
 type ScalingRow struct {
 	Model   string
 	Threads int
@@ -266,49 +268,4 @@ type ScalingRow struct {
 	// RatioToSC is Rate divided by the same-n SC rate; Theorem 6.3 says it
 	// tends to 1 for every model.
 	RatioToSC float64
-}
-
-// ThreadScalingSweep runs the hybrid estimator for every model and every n
-// in ns, and reports normalized decay rates relative to SC (computed
-// analytically). This regenerates the Theorem 6.3 "gap vanishes" series.
-func ThreadScalingSweep(ctx context.Context, models []memmodel.Model, ns []int, prefixLen int, mcCfg mc.Config) ([]ScalingRow, error) {
-	if len(models) == 0 || len(ns) == 0 {
-		return nil, fmt.Errorf("%w: empty sweep", ErrBadConfig)
-	}
-	rows := make([]ScalingRow, 0, len(models)*len(ns))
-	for _, n := range ns {
-		scLog, err := analytic.SCLogPrA(n)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		scRate, err := analytic.Theorem63Rate(scLog, n)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		for _, model := range models {
-			cfg := Config{
-				Model:     model,
-				Threads:   n,
-				PrefixLen: prefixLen,
-				StoreProb: 0.5,
-				SwapProb:  0.5,
-			}
-			res, err := HybridPrA(ctx, cfg, mcCfg)
-			if err != nil {
-				return nil, fmt.Errorf("core: sweep model=%s n=%d: %w", model.Name(), n, err)
-			}
-			rate, err := analytic.Theorem63Rate(res.LogPrA, n)
-			if err != nil {
-				return nil, fmt.Errorf("core: %w", err)
-			}
-			rows = append(rows, ScalingRow{
-				Model:     model.Name(),
-				Threads:   n,
-				LogPrA:    res.LogPrA,
-				Rate:      rate,
-				RatioToSC: rate / scRate,
-			})
-		}
-	}
-	return rows, nil
 }

@@ -235,52 +235,3 @@ func TestHybridPrAMatchesExactTwoThread(t *testing.T) {
 		}
 	}
 }
-
-func TestThreadScalingSweepGapVanishes(t *testing.T) {
-	// Theorem 6.3: the per-model rate ratio to SC tends to 1 as n grows.
-	ctx := context.Background()
-	models := []memmodel.Model{memmodel.SC(), memmodel.TSO(), memmodel.WO()}
-	rows, err := ThreadScalingSweep(ctx, models, []int{2, 4, 8}, 32,
-		mc.Config{Trials: 60000, Seed: 13})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != 9 {
-		t.Fatalf("got %d rows", len(rows))
-	}
-	ratio := func(model string, n int) float64 {
-		for _, r := range rows {
-			if r.Model == model && r.Threads == n {
-				return r.RatioToSC
-			}
-		}
-		t.Fatalf("row %s/%d missing", model, n)
-		return 0
-	}
-	for _, model := range []string{"TSO", "WO"} {
-		gap2 := math.Abs(ratio(model, 2) - 1)
-		gap8 := math.Abs(ratio(model, 8) - 1)
-		if gap8 > gap2 {
-			t.Errorf("%s: ratio gap grew from %v (n=2) to %v (n=8)", model, gap2, gap8)
-		}
-		if gap8 > 0.1 {
-			t.Errorf("%s: ratio at n=8 still %v from 1", model, ratio(model, 8))
-		}
-	}
-	// SC ratio is identically 1 up to MC noise (zero variance under SC).
-	for _, n := range []int{2, 4, 8} {
-		if math.Abs(ratio("SC", n)-1) > 1e-9 {
-			t.Errorf("SC ratio at n=%d = %v", n, ratio("SC", n))
-		}
-	}
-}
-
-func TestThreadScalingSweepValidation(t *testing.T) {
-	ctx := context.Background()
-	if _, err := ThreadScalingSweep(ctx, nil, []int{2}, 8, mc.Config{Trials: 10, Seed: 1}); !errors.Is(err, ErrBadConfig) {
-		t.Error("empty models accepted")
-	}
-	if _, err := ThreadScalingSweep(ctx, []memmodel.Model{memmodel.SC()}, nil, 8, mc.Config{Trials: 10, Seed: 1}); !errors.Is(err, ErrBadConfig) {
-		t.Error("empty ns accepted")
-	}
-}

@@ -1,0 +1,88 @@
+// Package dist provides the small discrete distributions shared by the
+// settling and shift processes: tabulated probability mass functions
+// (possibly sub-probability, with untabulated tail mass beyond the
+// tabulated support) and the geometric shift distribution of §5.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memreliability/internal/rng"
+)
+
+// ErrBadMass reports an invalid probability mass vector.
+var ErrBadMass = errors.New("dist: bad probability mass")
+
+// massTol absorbs floating-point drift when validating mass vectors.
+const massTol = 1e-9
+
+// PMF is a probability mass function tabulated on {0, 1, ..., Len()-1}.
+// The tabulated mass may sum to less than one; the remainder is tail mass
+// supported beyond the tabulated range (callers such as analytic.SegmentMGF
+// bound the tail's contribution rigorously).
+type PMF struct {
+	mass  []float64
+	total float64
+}
+
+// NewPMF builds a PMF from the given mass vector. Entries must be
+// non-negative (up to floating-point tolerance, with tiny negatives
+// clamped to zero) and must not sum to more than one.
+func NewPMF(mass []float64) (*PMF, error) {
+	if len(mass) == 0 {
+		return nil, fmt.Errorf("%w: empty mass vector", ErrBadMass)
+	}
+	m := make([]float64, len(mass))
+	total := 0.0
+	for i, v := range mass {
+		if math.IsNaN(v) || v < -massTol {
+			return nil, fmt.Errorf("%w: mass[%d] = %v", ErrBadMass, i, v)
+		}
+		if v < 0 {
+			v = 0
+		}
+		m[i] = v
+		total += v
+	}
+	if total > 1+massTol {
+		return nil, fmt.Errorf("%w: total mass %v exceeds 1", ErrBadMass, total)
+	}
+	return &PMF{mass: m, total: total}, nil
+}
+
+// Len returns the size of the tabulated support.
+func (p *PMF) Len() int { return len(p.mass) }
+
+// At returns the mass at value i; values outside the tabulated support
+// have mass zero (the untabulated tail is reported only via Total).
+func (p *PMF) At(i int) float64 {
+	if i < 0 || i >= len(p.mass) {
+		return 0
+	}
+	return p.mass[i]
+}
+
+// Total returns the total tabulated mass; 1 − Total() is tail mass.
+func (p *PMF) Total() float64 { return p.total }
+
+// Geometric is the geometric distribution Pr[X = k] = (1−P)·P^k on
+// k ∈ {0, 1, 2, ...}, parameterized by the continuation probability P.
+type Geometric struct {
+	// P is the continuation probability, in [0, 1).
+	P float64
+}
+
+// StandardShift returns the shift process's shift distribution
+// (Definition 1): Pr[s = k] = 2^-(k+1), i.e. Geometric with P = 1/2.
+func StandardShift() Geometric { return Geometric{P: 0.5} }
+
+// Sample draws one variate using the given source.
+func (g Geometric) Sample(src *rng.Source) int {
+	k := 0
+	for src.Bool(g.P) {
+		k++
+	}
+	return k
+}

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"memreliability/internal/rng"
+)
+
+func TestNewPMFValidation(t *testing.T) {
+	if _, err := NewPMF(nil); !errors.Is(err, ErrBadMass) {
+		t.Error("empty mass accepted")
+	}
+	if _, err := NewPMF([]float64{0.5, -0.2}); !errors.Is(err, ErrBadMass) {
+		t.Error("negative mass accepted")
+	}
+	if _, err := NewPMF([]float64{0.8, 0.8}); !errors.Is(err, ErrBadMass) {
+		t.Error("total mass > 1 accepted")
+	}
+	if _, err := NewPMF([]float64{math.NaN()}); !errors.Is(err, ErrBadMass) {
+		t.Error("NaN mass accepted")
+	}
+}
+
+func TestPMFAccessors(t *testing.T) {
+	pmf, err := NewPMF([]float64{0.5, 0.25, 0.125})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmf.Len() != 3 {
+		t.Errorf("Len = %d", pmf.Len())
+	}
+	if pmf.At(1) != 0.25 {
+		t.Errorf("At(1) = %v", pmf.At(1))
+	}
+	if pmf.At(-1) != 0 || pmf.At(3) != 0 {
+		t.Error("out-of-support mass not zero")
+	}
+	if math.Abs(pmf.Total()-0.875) > 1e-15 {
+		t.Errorf("Total = %v", pmf.Total())
+	}
+}
+
+func TestPMFDoesNotAliasInput(t *testing.T) {
+	mass := []float64{0.5, 0.5}
+	pmf, err := NewPMF(mass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass[0] = 0
+	if pmf.At(0) != 0.5 {
+		t.Error("PMF aliases caller mass")
+	}
+}
+
+func TestPMFClampsTinyNegatives(t *testing.T) {
+	pmf, err := NewPMF([]float64{1e-12 * -1, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmf.At(0) != 0 {
+		t.Errorf("tiny negative not clamped: %v", pmf.At(0))
+	}
+}
+
+func TestStandardShiftMatchesDefinition1(t *testing.T) {
+	src := rng.New(5)
+	const trials = 200000
+	counts := make([]int, 16)
+	for i := 0; i < trials; i++ {
+		k := StandardShift().Sample(src)
+		if k < len(counts) {
+			counts[k]++
+		}
+	}
+	for k := 0; k < 6; k++ {
+		want := math.Pow(2, -float64(k+1))
+		got := float64(counts[k]) / trials
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("Pr[s=%d] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestGeometricZeroContinuation(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if k := (Geometric{P: 0}).Sample(src); k != 0 {
+			t.Fatalf("P=0 sampled %d", k)
+		}
+	}
+}

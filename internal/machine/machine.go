@@ -78,11 +78,11 @@ type LoadOp struct {
 	Dst  string
 }
 
-func (o LoadOp) String() string           { return fmt.Sprintf("%s = LD %s", o.Dst, o.Addr) }
-func (o LoadOp) opType() memmodel.OpType  { return memmodel.Load }
-func (o LoadOp) addr() string             { return o.Addr }
-func (o LoadOp) readRegs() []string       { return nil }
-func (o LoadOp) writeReg() string         { return o.Dst }
+func (o LoadOp) String() string          { return fmt.Sprintf("%s = LD %s", o.Dst, o.Addr) }
+func (o LoadOp) opType() memmodel.OpType { return memmodel.Load }
+func (o LoadOp) addr() string            { return o.Addr }
+func (o LoadOp) readRegs() []string      { return nil }
+func (o LoadOp) writeReg() string        { return o.Dst }
 
 // StoreOp writes Src (register or immediate) to Addr.
 type StoreOp struct {

@@ -1,10 +1,11 @@
 // Package mc is a parallel Monte Carlo harness. Every probability estimate
 // in the benchmark suite — Pr[B_γ], Pr[A(γ̄)], Pr[A] — runs through it.
 //
-// The harness guarantees reproducibility under concurrency: each worker
-// derives its own RNG substream from the experiment seed, and results are
-// merged deterministically, so an estimate depends only on (seed, trials,
-// workers), never on goroutine scheduling.
+// The harness guarantees reproducibility under concurrency: trials are
+// partitioned into fixed-size chunks, each chunk derives its own RNG
+// substream from the experiment seed and its chunk index, and chunk
+// results are merged in chunk order. An estimate therefore depends only
+// on (seed, trials) — never on the worker count or goroutine scheduling.
 package mc
 
 import (
@@ -21,6 +22,11 @@ import (
 // ErrBadConfig reports an invalid harness configuration.
 var ErrBadConfig = errors.New("mc: bad config")
 
+// chunkSize is the number of trials in one deterministic substream chunk.
+// The chunk partition is part of the reproducibility contract: changing
+// this constant changes the samples a given (seed, trials) run draws.
+const chunkSize = 8192
+
 // Trial is a single randomized experiment returning whether the event of
 // interest occurred. Implementations must use only the provided Source for
 // randomness and must be safe to call from one goroutine at a time.
@@ -31,9 +37,10 @@ type Config struct {
 	// Trials is the total number of trials to run. Must be positive.
 	Trials int
 	// Workers is the number of parallel workers; 0 means GOMAXPROCS.
+	// Workers is pure scheduling and never affects results.
 	Workers int
-	// Seed is the experiment seed; every run with the same Config and
-	// trial function produces identical counts.
+	// Seed is the experiment seed; every run with the same Seed, Trials,
+	// and trial function produces identical counts at any worker count.
 	Seed uint64
 }
 
@@ -45,6 +52,78 @@ func (c Config) validate() error {
 		return fmt.Errorf("%w: workers=%d", ErrBadConfig, c.Workers)
 	}
 	return nil
+}
+
+// chunkPlan derives the deterministic per-chunk RNG sources and trial
+// quotas for a run: ⌈trials/chunkSize⌉ chunks, the last one short.
+func chunkPlan(cfg Config) (sources []*rng.Source, quotas []int) {
+	n := (cfg.Trials + chunkSize - 1) / chunkSize
+	root := rng.New(cfg.Seed)
+	sources = make([]*rng.Source, n)
+	quotas = make([]int, n)
+	for i := range sources {
+		sources[i] = root.Split()
+		quotas[i] = chunkSize
+	}
+	quotas[n-1] = cfg.Trials - chunkSize*(n-1)
+	return sources, quotas
+}
+
+// runChunks executes fn(chunk) for every chunk index across a worker
+// pool. The first failure cancels the remaining chunks; the returned
+// error prefers a root-cause failure over the cancellations it induced.
+func runChunks(ctx context.Context, workers, nChunks int, fn func(ctx context.Context, chunk int) error) error {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nChunks {
+		workers = nChunks
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for chunk := range jobs {
+				if err := fn(runCtx, chunk); err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+			}
+		}(w)
+	}
+
+feed:
+	for chunk := 0; chunk < nChunks; chunk++ {
+		select {
+		case jobs <- chunk:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+			firstErr = err
+		}
+	}
+	if firstErr == nil && ctx.Err() != nil {
+		// The parent context died before any chunk could report it.
+		firstErr = ctx.Err()
+	}
+	return firstErr
 }
 
 // Result is the outcome of a Monte Carlo run.
@@ -70,72 +149,36 @@ func EstimateProbability(ctx context.Context, cfg Config, trial Trial) (*Result,
 	if trial == nil {
 		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
 	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
+	sources, quotas := chunkPlan(cfg)
+	successes := make([]int, len(sources))
+	trialsRun := make([]int, len(sources))
 
-	// Deterministic substreams: worker w gets the w-th Split of the root.
-	root := rng.New(cfg.Seed)
-	sources := make([]*rng.Source, workers)
-	for w := range sources {
-		sources[w] = root.Split()
-	}
-
-	type partial struct {
-		successes int
-		trials    int
-		err       error
-	}
-	partials := make([]partial, workers)
-
-	base := cfg.Trials / workers
-	extra := cfg.Trials % workers
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		quota := base
-		if w < extra {
-			quota++
-		}
-		wg.Add(1)
-		go func(w, quota int, src *rng.Source) {
-			defer wg.Done()
-			p := &partials[w]
-			for i := 0; i < quota; i++ {
-				if i%1024 == 0 && ctx.Err() != nil {
-					p.err = ctx.Err()
-					return
-				}
-				ok, err := trial(src)
-				if err != nil {
-					p.err = fmt.Errorf("mc: trial failed in worker %d: %w", w, err)
-					return
-				}
-				p.trials++
-				if ok {
-					p.successes++
-				}
+	runErr := runChunks(ctx, cfg.Workers, len(sources), func(ctx context.Context, chunk int) error {
+		src := sources[chunk]
+		for i := 0; i < quotas[chunk]; i++ {
+			if i%1024 == 0 && ctx.Err() != nil {
+				return ctx.Err()
 			}
-		}(w, quota, sources[w])
-	}
-	wg.Wait()
+			ok, err := trial(src)
+			if err != nil {
+				return fmt.Errorf("mc: trial failed in chunk %d: %w", chunk, err)
+			}
+			trialsRun[chunk]++
+			if ok {
+				successes[chunk]++
+			}
+		}
+		return nil
+	})
 
 	result := &Result{}
-	var firstErr error
-	for w := range partials {
-		if partials[w].err != nil && firstErr == nil {
-			firstErr = partials[w].err
-		}
-		if err := result.Proportion.AddCounts(partials[w].successes, partials[w].trials); err != nil {
+	for chunk := range sources {
+		if err := result.Proportion.AddCounts(successes[chunk], trialsRun[chunk]); err != nil {
 			return nil, err
 		}
 	}
-	if firstErr != nil {
-		return result, firstErr
+	if runErr != nil {
+		return result, runErr
 	}
 	return result, nil
 }
@@ -153,74 +196,49 @@ func EstimateDistribution(ctx context.Context, cfg Config, buckets int, sample I
 	if sample == nil {
 		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
 	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-
-	root := rng.New(cfg.Seed)
-	sources := make([]*rng.Source, workers)
-	for w := range sources {
-		sources[w] = root.Split()
-	}
-
-	hists := make([]*stats.Histogram, workers)
-	errs := make([]error, workers)
-	base := cfg.Trials / workers
-	extra := cfg.Trials % workers
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		quota := base
-		if w < extra {
-			quota++
-		}
+	sources, quotas := chunkPlan(cfg)
+	hists := make([]*stats.Histogram, len(sources))
+	for chunk := range hists {
 		h, err := stats.NewHistogram(buckets)
 		if err != nil {
 			return nil, fmt.Errorf("mc: %w", err)
 		}
-		hists[w] = h
-		wg.Add(1)
-		go func(w, quota int, src *rng.Source) {
-			defer wg.Done()
-			for i := 0; i < quota; i++ {
-				if i%1024 == 0 && ctx.Err() != nil {
-					errs[w] = ctx.Err()
-					return
-				}
-				v, err := sample(src)
-				if err != nil {
-					errs[w] = fmt.Errorf("mc: sampler failed in worker %d: %w", w, err)
-					return
-				}
-				if err := hists[w].Observe(v); err != nil {
-					errs[w] = fmt.Errorf("mc: worker %d: %w", w, err)
-					return
-				}
-			}
-		}(w, quota, sources[w])
+		hists[chunk] = h
 	}
-	wg.Wait()
+
+	err := runChunks(ctx, cfg.Workers, len(sources), func(ctx context.Context, chunk int) error {
+		src := sources[chunk]
+		for i := 0; i < quotas[chunk]; i++ {
+			if i%1024 == 0 && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			v, err := sample(src)
+			if err != nil {
+				return fmt.Errorf("mc: sampler failed in chunk %d: %w", chunk, err)
+			}
+			if err := hists[chunk].Observe(v); err != nil {
+				return fmt.Errorf("mc: chunk %d: %w", chunk, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	merged, err := stats.NewHistogram(buckets)
 	if err != nil {
 		return nil, fmt.Errorf("mc: %w", err)
 	}
-	for w := range hists {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
+	for _, h := range hists {
 		for b := 0; b < buckets; b++ {
-			for i := 0; i < hists[w].Count(b); i++ {
+			for i := 0; i < h.Count(b); i++ {
 				if err := merged.Observe(b); err != nil {
 					return nil, fmt.Errorf("mc: merge: %w", err)
 				}
 			}
 		}
-		for i := 0; i < hists[w].Overflow(); i++ {
+		for i := 0; i < h.Overflow(); i++ {
 			if err := merged.Observe(buckets); err != nil {
 				return nil, fmt.Errorf("mc: merge: %w", err)
 			}
@@ -233,7 +251,9 @@ func EstimateDistribution(ctx context.Context, cfg Config, buckets int, sample I
 type MeanEstimator func(src *rng.Source) (value float64, err error)
 
 // EstimateMean runs the sampler cfg.Trials times and returns summary
-// statistics of the observations.
+// statistics of the observations. Chunk summaries are merged in chunk
+// order, so the result is bit-identical at any worker count even though
+// summary merging is not floating-point associative.
 func EstimateMean(ctx context.Context, cfg Config, sample MeanEstimator) (*stats.Summary, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -241,56 +261,30 @@ func EstimateMean(ctx context.Context, cfg Config, sample MeanEstimator) (*stats
 	if sample == nil {
 		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
 	}
-	workers := cfg.Workers
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
+	sources, quotas := chunkPlan(cfg)
+	sums := make([]stats.Summary, len(sources))
 
-	root := rng.New(cfg.Seed)
-	sources := make([]*rng.Source, workers)
-	for w := range sources {
-		sources[w] = root.Split()
-	}
-
-	sums := make([]stats.Summary, workers)
-	errs := make([]error, workers)
-	base := cfg.Trials / workers
-	extra := cfg.Trials % workers
-
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		quota := base
-		if w < extra {
-			quota++
-		}
-		wg.Add(1)
-		go func(w, quota int, src *rng.Source) {
-			defer wg.Done()
-			for i := 0; i < quota; i++ {
-				if i%1024 == 0 && ctx.Err() != nil {
-					errs[w] = ctx.Err()
-					return
-				}
-				v, err := sample(src)
-				if err != nil {
-					errs[w] = fmt.Errorf("mc: sampler failed in worker %d: %w", w, err)
-					return
-				}
-				sums[w].Add(v)
+	err := runChunks(ctx, cfg.Workers, len(sources), func(ctx context.Context, chunk int) error {
+		src := sources[chunk]
+		for i := 0; i < quotas[chunk]; i++ {
+			if i%1024 == 0 && ctx.Err() != nil {
+				return ctx.Err()
 			}
-		}(w, quota, sources[w])
+			v, err := sample(src)
+			if err != nil {
+				return fmt.Errorf("mc: sampler failed in chunk %d: %w", chunk, err)
+			}
+			sums[chunk].Add(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 
 	var merged stats.Summary
-	for w := range sums {
-		if errs[w] != nil {
-			return nil, errs[w]
-		}
-		merged = stats.MergeSummaries(merged, sums[w])
+	for _, s := range sums {
+		merged = stats.MergeSummaries(merged, s)
 	}
 	return &merged, nil
 }

@@ -48,17 +48,43 @@ func TestEstimateProbabilityDeterministic(t *testing.T) {
 }
 
 func TestEstimateProbabilityWorkerCountInvariance(t *testing.T) {
-	// Different worker counts legitimately partition the substreams
-	// differently, but both must land near the truth.
+	// The chunked harness is deterministic in (seed, trials) alone:
+	// every worker count must produce the identical estimate.
 	ctx := context.Background()
 	trial := func(src *rng.Source) (bool, error) { return src.Bool(0.2), nil }
-	for _, workers := range []int{1, 2, 7} {
+	var want float64
+	for i, workers := range []int{1, 2, 7} {
 		res, err := EstimateProbability(ctx, Config{Trials: 100000, Workers: workers, Seed: 5}, trial)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if math.Abs(res.Estimate()-0.2) > 0.01 {
 			t.Errorf("workers=%d: estimate %v", workers, res.Estimate())
+		}
+		if i == 0 {
+			want = res.Estimate()
+		} else if res.Estimate() != want {
+			t.Errorf("workers=%d: estimate %v differs from workers=1's %v",
+				workers, res.Estimate(), want)
+		}
+	}
+}
+
+func TestEstimateMeanWorkerCountInvariance(t *testing.T) {
+	// Summary merging is not float-associative, so this exercises the
+	// in-order chunk merge: means must be bit-identical across workers.
+	ctx := context.Background()
+	sample := func(src *rng.Source) (float64, error) { return src.Float64(), nil }
+	var want float64
+	for i, workers := range []int{1, 3, 8} {
+		sum, err := EstimateMean(ctx, Config{Trials: 50000, Workers: workers, Seed: 9}, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = sum.Mean()
+		} else if sum.Mean() != want {
+			t.Errorf("workers=%d: mean %v differs from workers=1's %v", workers, sum.Mean(), want)
 		}
 	}
 }

@@ -162,6 +162,21 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 	return nil
 }
 
+// Write renders the table in the named format: "text" (or ""), "csv", or
+// "markdown"/"md". Unknown formats return ErrBadTable.
+func (t *Table) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return t.WriteText(w)
+	case "csv":
+		return t.WriteCSV(w)
+	case "markdown", "md":
+		return t.WriteMarkdown(w)
+	default:
+		return fmt.Errorf("%w: unknown format %q", ErrBadTable, format)
+	}
+}
+
 // FormatProb formats a probability with six significant decimals, the
 // precision at which the paper states its Theorem 6.2 constants.
 func FormatProb(p float64) string {

@@ -146,3 +146,33 @@ func TestFormatters(t *testing.T) {
 		t.Errorf("FormatRatio = %q", got)
 	}
 }
+
+func TestWriteDispatch(t *testing.T) {
+	tbl, err := NewTable("T", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("x", "y"); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"":         "a  b",
+		"text":     "a  b",
+		"csv":      "a,b",
+		"markdown": "| a | b |",
+		"md":       "| a | b |",
+	}
+	for format, want := range cases {
+		var sb strings.Builder
+		if err := tbl.Write(&sb, format); err != nil {
+			t.Fatalf("format %q: %v", format, err)
+		}
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("format %q missing %q:\n%s", format, want, sb.String())
+		}
+	}
+	var sb strings.Builder
+	if err := tbl.Write(&sb, "yaml"); !errors.Is(err, ErrBadTable) {
+		t.Errorf("unknown format accepted: %v", err)
+	}
+}

@@ -37,7 +37,7 @@ func ConditionalWindowDist(model memmodel.Model, prefix []memmodel.OpType, s flo
 				ErrBadInput, i, t)
 		}
 	}
-	cur := map[uint64]float64{0: 1}
+	cur := []float64{1}
 	for i, t := range prefix {
 		// stepStringDist draws the round's type Bernoulli(pStore); pinning
 		// pStore to 0 or 1 conditions on the fixed type.
@@ -49,7 +49,10 @@ func ConditionalWindowDist(model memmodel.Model, prefix []memmodel.OpType, s flo
 	}
 	mass := make([]float64, m+1)
 	for mask, w := range cur {
-		accumWindow(model, mask, m, s, w, mass)
+		if w == 0 {
+			continue
+		}
+		accumWindow(model, uint64(mask), m, s, w, mass)
 	}
 	return dist.NewPMF(mass)
 }

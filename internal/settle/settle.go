@@ -208,7 +208,10 @@ func ExactWindowDist(model memmodel.Model, m int, pStore, s float64, maxGamma in
 	}
 	mass := make([]float64, maxGamma+1)
 	for mask, w := range strings {
-		accumWindow(model, mask, m, s, w, mass)
+		if w == 0 {
+			continue
+		}
+		accumWindow(model, uint64(mask), m, s, w, mass)
 	}
 	return dist.NewPMF(mass)
 }
@@ -224,9 +227,12 @@ func typeAt(mask uint64, j int) memmodel.OpType {
 
 // prefixStringDist computes the exact distribution over type strings of the
 // settled prefix after rounds 1..m (the order S_m restricted to the prefix,
-// which rounds m+1 and m+2 take as input).
-func prefixStringDist(model memmodel.Model, m int, pStore, s float64) (map[uint64]float64, error) {
-	cur := map[uint64]float64{0: 1} // empty string
+// which rounds m+1 and m+2 take as input). The distribution is dense:
+// entry mask holds the weight of the length-m type string mask. A dense
+// slice (rather than a map) keeps the floating-point accumulation order
+// deterministic, so exact-DP results are bit-identical across runs.
+func prefixStringDist(model memmodel.Model, m int, pStore, s float64) ([]float64, error) {
+	cur := []float64{1} // the single empty string
 	for i := 0; i < m; i++ {
 		cur = stepStringDist(model, cur, i, pStore, s)
 	}
@@ -237,9 +243,13 @@ func prefixStringDist(model memmodel.Model, m int, pStore, s float64) (map[uint6
 // length-i type strings: the new instruction (ST with probability pStore)
 // enters at position i (the bottom of the current string) and settles
 // upward; stopping after passing a instructions leaves it at position i-a.
-func stepStringDist(model memmodel.Model, cur map[uint64]float64, i int, pStore, s float64) map[uint64]float64 {
-	next := make(map[uint64]float64, 2*len(cur))
-	for mask, w := range cur {
+func stepStringDist(model memmodel.Model, cur []float64, i int, pStore, s float64) []float64 {
+	next := make([]float64, 2*len(cur))
+	for maskInt, w := range cur {
+		if w == 0 {
+			continue
+		}
+		mask := uint64(maskInt)
 		for _, tc := range []struct {
 			typ  memmodel.OpType
 			prob float64
@@ -364,8 +374,11 @@ func ExactContiguousStoreDist(model memmodel.Model, m int, pStore, s float64, ma
 	}
 	mass := make([]float64, maxMu+1)
 	for mask, w := range strings {
+		if w == 0 {
+			continue
+		}
 		mu := 0
-		for j := m - 1; j >= 0 && typeAt(mask, j) == memmodel.Store; j-- {
+		for j := m - 1; j >= 0 && typeAt(uint64(mask), j) == memmodel.Store; j-- {
 			mu++
 		}
 		if mu < len(mass) {
@@ -384,12 +397,12 @@ func BottomStoreDensity(model memmodel.Model, m int, pStore, s float64) ([]float
 		return nil, err
 	}
 	out := make([]float64, 0, m)
-	cur := map[uint64]float64{0: 1}
+	cur := []float64{1}
 	for i := 0; i < m; i++ {
 		cur = stepStringDist(model, cur, i, pStore, s)
 		density := 0.0
 		for mask, w := range cur {
-			if typeAt(mask, i) == memmodel.Store {
+			if typeAt(uint64(mask), i) == memmodel.Store {
 				density += w
 			}
 		}

@@ -47,12 +47,12 @@ func TestDisjointLogic(t *testing.T) {
 		shifts, lengths []int
 		want            bool
 	}{
-		{[]int{0, 5}, []int{2, 2}, true},    // [0,2] and [5,7]
-		{[]int{0, 2}, []int{2, 2}, false},   // share point 2
-		{[]int{0, 3}, []int{2, 2}, true},    // [0,2] and [3,5]
-		{[]int{4, 0}, []int{1, 2}, true},    // order independent
-		{[]int{0, 0}, []int{0, 0}, false},   // identical points
-		{[]int{0, 1}, []int{0, 0}, true},    // distinct points
+		{[]int{0, 5}, []int{2, 2}, true},  // [0,2] and [5,7]
+		{[]int{0, 2}, []int{2, 2}, false}, // share point 2
+		{[]int{0, 3}, []int{2, 2}, true},  // [0,2] and [3,5]
+		{[]int{4, 0}, []int{1, 2}, true},  // order independent
+		{[]int{0, 0}, []int{0, 0}, false}, // identical points
+		{[]int{0, 1}, []int{0, 0}, true},  // distinct points
 		{[]int{0, 10, 4}, []int{2, 2, 2}, true},
 		{[]int{0, 10, 2}, []int{2, 2, 2}, false}, // third touches first
 	}

@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"memreliability/internal/report"
+)
+
+// ArtifactVersion is the schema version stamped on every artifact.
+const ArtifactVersion = 1
+
+// ErrBadArtifact reports a structurally invalid artifact.
+var ErrBadArtifact = errors.New("sweep: bad artifact")
+
+// Artifact is the versioned result of one sweep run: the normalized spec
+// echo (minus the worker budget, which never affects results) plus every
+// cell result in index order. Encoding the same artifact always produces
+// identical bytes.
+type Artifact struct {
+	SchemaVersion int          `json:"schema_version"`
+	Spec          Spec         `json:"spec"`
+	Cells         []CellResult `json:"cells"`
+}
+
+// EncodeJSON writes the artifact as deterministic, indented JSON.
+func (a *Artifact) EncodeJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sweep: encode artifact: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("sweep: write artifact: %w", err)
+	}
+	return nil
+}
+
+// DecodeArtifact reads a JSON artifact and checks its schema version.
+func DecodeArtifact(r io.Reader) (*Artifact, error) {
+	var a Artifact
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadArtifact, err)
+	}
+	if a.SchemaVersion != ArtifactVersion {
+		return nil, fmt.Errorf("%w: schema version %d, want %d",
+			ErrBadArtifact, a.SchemaVersion, ArtifactVersion)
+	}
+	return &a, nil
+}
+
+// Table renders the artifact as a report table, one row per cell.
+func (a *Artifact) Table() (*report.Table, error) {
+	title := fmt.Sprintf("sweep: %d cells, seed=%d, trials=%d, p=%g, s=%g",
+		len(a.Cells), a.Spec.Seed, a.Spec.Trials, a.Spec.StoreProb, a.Spec.SwapProb)
+	tbl, err := report.NewTable(title, "model", "n", "m", "estimator", "estimate", "notes")
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range a.Cells {
+		n := fmt.Sprintf("%d", c.Threads)
+		if c.Threads == 0 {
+			n = "-"
+		}
+		if err := tbl.AddRowValues(c.Model, n, c.PrefixLen,
+			c.Estimator.DisplayName(), cellEstimate(c), c.Notes()); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// cellEstimate formats the cell's headline number.
+func cellEstimate(c CellResult) string {
+	if c.Skipped {
+		return "-"
+	}
+	return report.FormatProb(c.Estimate)
+}
+
+// Notes summarizes the cell's secondary outputs (CI bracket, log
+// estimate, tabulated distribution, skip reason) as a display string.
+// Every renderer of cell rows — the artifact table, cmd/memrisk — shares
+// this so per-estimator annotations cannot drift apart.
+func (c CellResult) Notes() string {
+	var notes []string
+	switch {
+	case c.Skipped:
+		notes = append(notes, "skipped: "+c.Note)
+	default:
+		switch c.Estimator {
+		case Exact:
+			notes = append(notes, report.FormatInterval(c.Lo, c.Hi))
+		case FullMC:
+			notes = append(notes, fmt.Sprintf("%.0f%% CI %s",
+				ciLevel*100, report.FormatInterval(c.Lo, c.Hi)))
+		case Hybrid:
+			notes = append(notes, "ln Pr[A] = "+report.FormatRatio(c.LogEstimate))
+		case WindowDist:
+			cells := make([]string, len(c.Dist))
+			for gamma, p := range c.Dist {
+				cells[gamma] = fmt.Sprintf("P(%d)=%s", gamma, report.FormatRatio(p))
+			}
+			notes = append(notes, "estimate = E[γ]; "+strings.Join(cells, " "))
+		}
+		if c.Note != "" {
+			notes = append(notes, c.Note)
+		}
+		if c.ElapsedMS > 0 {
+			notes = append(notes, fmt.Sprintf("%.1fms", c.ElapsedMS))
+		}
+	}
+	return strings.Join(notes, "; ")
+}

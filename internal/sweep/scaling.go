@@ -1,0 +1,79 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"memreliability/internal/analytic"
+	"memreliability/internal/core"
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+)
+
+// ThreadScaling runs the Theorem 6.3 thread-scaling sweep through the
+// engine: one hybrid cell per model × n, normalized decay rates
+// −ln Pr[A]/n² compared against the analytic SC rate. Rows are ordered by
+// n (outer) then model, matching the paper's presentation.
+//
+// This subsumes the hand-rolled model/thread loops that previously lived
+// in cmd/memrisk, the facade, and the benchmark harness.
+func ThreadScaling(ctx context.Context, models []memmodel.Model, ns []int, prefixLen int, mcCfg mc.Config) ([]core.ScalingRow, error) {
+	if len(models) == 0 || len(ns) == 0 {
+		return nil, fmt.Errorf("%w: empty sweep", ErrBadSpec)
+	}
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name()
+	}
+	spec := DefaultSpec()
+	spec.Models = names
+	spec.Threads = ns
+	spec.PrefixLens = []int{prefixLen}
+	spec.Estimators = []Kind{Hybrid}
+	spec.Trials = mcCfg.Trials
+	spec.Seed = mcCfg.Seed
+	spec.Workers = mcCfg.Workers
+	art, err := Run(ctx, spec, Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	type key struct {
+		model string
+		n     int
+	}
+	byCell := make(map[key]CellResult, len(art.Cells))
+	for _, c := range art.Cells {
+		byCell[key{c.Model, c.Threads}] = c
+	}
+
+	rows := make([]core.ScalingRow, 0, len(models)*len(ns))
+	for _, n := range ns {
+		scLog, err := analytic.SCLogPrA(n)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		scRate, err := analytic.Theorem63Rate(scLog, n)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		for _, name := range names {
+			c, ok := byCell[key{name, n}]
+			if !ok {
+				return nil, fmt.Errorf("%w: missing cell model=%s n=%d", ErrBadArtifact, name, n)
+			}
+			rate, err := analytic.Theorem63Rate(c.LogEstimate, n)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			rows = append(rows, core.ScalingRow{
+				Model:     name,
+				Threads:   n,
+				LogPrA:    c.LogEstimate,
+				Rate:      rate,
+				RatioToSC: rate / scRate,
+			})
+		}
+	}
+	return rows, nil
+}

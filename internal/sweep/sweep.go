@@ -1,0 +1,492 @@
+// Package sweep is the declarative experiment-orchestration subsystem.
+//
+// The paper's headline results (Theorems 4.1, 6.1, 6.3) are all sweeps:
+// Pr[A] or Pr[B_γ] evaluated across a grid of memory models × thread
+// counts × prefix lengths × estimator kinds. A Spec describes such a grid
+// declaratively; the engine expands it into cells, shards the cells across
+// a worker pool, and collects the results into a versioned Artifact that
+// renders as tables/CSV via internal/report.
+//
+// Reproducibility is the engine's core guarantee: every cell derives one
+// deterministic RNG seed from (spec seed, cell index), and the mc harness
+// underneath is itself scheduling-independent (chunked substreams merged
+// in chunk order), so an Artifact depends only on the Spec — never on the
+// worker budget or goroutine scheduling. Identical (spec, seed) produce
+// byte-identical JSON artifacts at any worker count.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"memreliability/internal/core"
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+	"memreliability/internal/settle"
+)
+
+// ErrBadSpec reports an invalid sweep specification.
+var ErrBadSpec = errors.New("sweep: bad spec")
+
+// ExactPrefixCap bounds the prefix length fed to the exact dynamic
+// programs (the DP state space is 2^m type strings). Exact and
+// window-distribution cells clamp their prefix to this cap and record the
+// clamp in the cell's note.
+const ExactPrefixCap = 16
+
+// ciLevel is the confidence level of the Wilson intervals attached to
+// full-Monte-Carlo cells.
+const ciLevel = 0.99
+
+// Kind names an estimation route for Pr[A] (or, for WindowDist, for the
+// Theorem 4.1 window distribution Pr[B_γ]).
+type Kind string
+
+const (
+	// Exact is the n=2 exact dynamic program (Theorem 6.2's quantity).
+	Exact Kind = "exact"
+	// FullMC is full end-to-end Monte Carlo of the joined process.
+	FullMC Kind = "mc"
+	// Hybrid is the Theorem 6.1 hybrid estimator (analytic shift
+	// combinatorics × Monte Carlo product expectation).
+	Hybrid Kind = "hybrid"
+	// WindowDist tabulates the exact critical-window distribution
+	// Pr[B_γ] (Theorem 4.1 at finite m); it is thread-count independent.
+	WindowDist Kind = "windowdist"
+)
+
+// Kinds lists every estimator kind, in canonical order.
+func Kinds() []Kind { return []Kind{Exact, FullMC, Hybrid, WindowDist} }
+
+// Valid reports whether k names a known estimator kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case Exact, FullMC, Hybrid, WindowDist:
+		return true
+	}
+	return false
+}
+
+// needsTrials reports whether the kind consumes Monte Carlo trials.
+func (k Kind) needsTrials() bool { return k == FullMC || k == Hybrid }
+
+// DisplayName returns the human-readable estimator label used in tables.
+func (k Kind) DisplayName() string {
+	switch k {
+	case Exact:
+		return "exact DP (n=2)"
+	case FullMC:
+		return "full Monte Carlo"
+	case Hybrid:
+		return "hybrid (Thm 6.1)"
+	case WindowDist:
+		return "window distribution"
+	}
+	return string(k)
+}
+
+// Spec declaratively describes one experiment sweep: the grid
+// models × threads × prefix lengths × estimators, plus the trial budget,
+// the experiment seed, and the worker budget.
+//
+// The zero value of a field selects the paper's default where one exists
+// (see Normalized). Workers is pure scheduling: it never affects results
+// and is therefore omitted from the artifact's spec echo.
+type Spec struct {
+	// Models are memory model names resolvable by memmodel.ByName.
+	Models []string `json:"models"`
+	// Threads are the thread counts n (each ≥ 2). Empty means {2}.
+	Threads []int `json:"threads,omitempty"`
+	// PrefixLens are the prefix lengths m. Empty means {64}.
+	PrefixLens []int `json:"prefix_lens,omitempty"`
+	// Estimators are the estimation routes to run per grid point.
+	// Empty means {hybrid}.
+	Estimators []Kind `json:"estimators,omitempty"`
+	// Trials is the Monte Carlo trial budget per cell (mc and hybrid
+	// cells only).
+	Trials int `json:"trials,omitempty"`
+	// Seed is the experiment seed; it fully determines the artifact.
+	Seed uint64 `json:"seed"`
+	// Workers bounds the worker pool sharding cells; 0 means
+	// GOMAXPROCS. Scheduling only — results never depend on it.
+	Workers int `json:"workers,omitempty"`
+	// StoreProb is p. Zero is honored as a genuine probability (an
+	// all-load program); start from DefaultSpec for the paper's normal
+	// form 1/2.
+	StoreProb float64 `json:"store_prob"`
+	// SwapProb is s. Zero is honored (swaps never succeed, so every
+	// model degenerates to SC); DefaultSpec gives the normal form 1/2.
+	SwapProb float64 `json:"swap_prob"`
+	// MaxGamma bounds the tabulated support of windowdist cells. Zero
+	// tabulates only γ=0; DefaultSpec gives 8.
+	MaxGamma int `json:"max_gamma"`
+}
+
+// DefaultSpec returns a Spec pre-filled with the paper's normal-form
+// scalar parameters (p = s = 1/2, max gamma 8). Grid fields are left
+// empty and take their documented defaults at Run time; decode a JSON
+// spec over this base so omitted scalar fields keep the paper defaults
+// while explicit zeros stick.
+func DefaultSpec() Spec {
+	return Spec{StoreProb: 0.5, SwapProb: 0.5, MaxGamma: 8}
+}
+
+// Normalized returns a copy of the spec with every empty grid field
+// replaced by its documented default. Scalar fields are never touched:
+// zero probabilities are legitimate experiments, so their defaults live
+// in DefaultSpec, not here.
+func (s Spec) Normalized() Spec {
+	out := s
+	if len(out.Threads) == 0 {
+		out.Threads = []int{2}
+	}
+	if len(out.PrefixLens) == 0 {
+		out.PrefixLens = []int{64}
+	}
+	if len(out.Estimators) == 0 {
+		out.Estimators = []Kind{Hybrid}
+	}
+	return out
+}
+
+// Validate checks a normalized spec. Call Normalized first; Run does both.
+func (s Spec) Validate() error {
+	if len(s.Models) == 0 {
+		return fmt.Errorf("%w: no models", ErrBadSpec)
+	}
+	for _, name := range s.Models {
+		if _, err := memmodel.ByName(name); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+	}
+	for _, n := range s.Threads {
+		if n < 2 {
+			return fmt.Errorf("%w: threads=%d (need ≥ 2)", ErrBadSpec, n)
+		}
+	}
+	for _, m := range s.PrefixLens {
+		if m < 1 {
+			return fmt.Errorf("%w: prefix length %d", ErrBadSpec, m)
+		}
+	}
+	needTrials := false
+	for _, k := range s.Estimators {
+		if !k.Valid() {
+			return fmt.Errorf("%w: unknown estimator %q", ErrBadSpec, k)
+		}
+		needTrials = needTrials || k.needsTrials()
+	}
+	if needTrials && s.Trials < 1 {
+		return fmt.Errorf("%w: trials=%d (mc/hybrid cells need ≥ 1)", ErrBadSpec, s.Trials)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("%w: workers=%d", ErrBadSpec, s.Workers)
+	}
+	if s.StoreProb < 0 || s.StoreProb > 1 {
+		return fmt.Errorf("%w: store probability %v", ErrBadSpec, s.StoreProb)
+	}
+	if s.SwapProb < 0 || s.SwapProb > 1 {
+		return fmt.Errorf("%w: swap probability %v", ErrBadSpec, s.SwapProb)
+	}
+	if s.MaxGamma < 0 {
+		return fmt.Errorf("%w: max gamma %d", ErrBadSpec, s.MaxGamma)
+	}
+	return nil
+}
+
+// Cell is one grid point of an expanded sweep. Threads is 0 for
+// windowdist cells, which are thread-count independent.
+type Cell struct {
+	Index     int    `json:"index"`
+	Model     string `json:"model"`
+	Threads   int    `json:"threads"`
+	PrefixLen int    `json:"prefix_len"`
+	Estimator Kind   `json:"estimator"`
+}
+
+// Expand enumerates the grid cells of a normalized spec in deterministic
+// order: models (outer) × threads × prefix lengths × estimators (inner).
+// Windowdist cells are emitted once per model × prefix length, not once
+// per thread count.
+func (s Spec) Expand() []Cell {
+	var cells []Cell
+	for _, model := range s.Models {
+		for ti, n := range s.Threads {
+			for _, m := range s.PrefixLens {
+				for _, k := range s.Estimators {
+					threads := n
+					if k == WindowDist {
+						if ti != 0 {
+							continue
+						}
+						threads = 0
+					}
+					cells = append(cells, Cell{
+						Index:     len(cells),
+						Model:     model,
+						Threads:   threads,
+						PrefixLen: m,
+						Estimator: k,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// CellResult is one completed (or skipped) cell. For probability
+// estimators, Estimate is the Pr[A] point estimate and LogEstimate its
+// natural log (0 when the estimate is 0 or the cell is skipped); Lo/Hi
+// bracket it (exact-DP truncation bounds, or the 99% Wilson interval for
+// full Monte Carlo). For windowdist cells, Dist tabulates Pr[B_γ] for
+// γ ∈ [0, MaxGamma] and Estimate is the mean window growth E[γ] over the
+// tabulated support.
+type CellResult struct {
+	Cell
+
+	Skipped bool   `json:"skipped,omitempty"`
+	Note    string `json:"note,omitempty"`
+
+	// EffectiveM is the prefix length the estimator actually used:
+	// equal to PrefixLen unless the exact DP clamped it to
+	// ExactPrefixCap.
+	EffectiveM int `json:"effective_m"`
+
+	Estimate    float64 `json:"estimate"`
+	LogEstimate float64 `json:"log_estimate"`
+	Lo          float64 `json:"lo"`
+	Hi          float64 `json:"hi"`
+	// StdErr is the standard error of the hybrid product expectation.
+	StdErr float64 `json:"std_err,omitempty"`
+	// Dist is the tabulated window distribution (windowdist cells).
+	Dist []float64 `json:"dist,omitempty"`
+	// ElapsedMS is wall-clock cell time; populated only when timing is
+	// requested, because it breaks byte-level artifact reproducibility.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// Options tunes a Run without affecting its results.
+type Options struct {
+	// Timing records per-cell wall-clock time in the artifact. Off by
+	// default: timing breaks byte-identical reproducibility.
+	Timing bool
+	// Sink, when non-nil, receives each cell result as it completes
+	// (completion order, not index order). Calls are serialized.
+	Sink func(CellResult)
+}
+
+// Run expands the spec, shards its cells across the worker pool, and
+// returns the collected artifact with cells in index order.
+func Run(ctx context.Context, spec Spec, opts Options) (*Artifact, error) {
+	norm := spec.Normalized()
+	if err := norm.Validate(); err != nil {
+		return nil, err
+	}
+	cells := norm.Expand()
+
+	// One deterministic RNG substream seed per cell, fixed by the spec
+	// seed and the cell index alone.
+	seeds := make([]uint64, len(cells))
+	root := rng.New(norm.Seed)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+
+	budget := norm.Workers
+	if budget == 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	workers := budget
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	// Split the budget across the two parallelism layers instead of
+	// multiplying it: cells share the pool, and each cell's inner Monte
+	// Carlo gets the leftover slice. A single-cell grid (the memrisk
+	// case) gets the whole budget inside the cell; a wide grid runs its
+	// cells single-streamed. Results are unaffected either way — the mc
+	// harness is deterministic in (seed, trials).
+	innerWorkers := budget / workers
+	if innerWorkers < 1 {
+		innerWorkers = 1
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]CellResult, len(cells))
+	errs := make([]error, workers)
+	jobs := make(chan int)
+	var sinkMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for idx := range jobs {
+				res, err := runCell(runCtx, norm, cells[idx], seeds[idx], innerWorkers, opts.Timing)
+				if err != nil {
+					errs[w] = err
+					cancel()
+					return
+				}
+				results[idx] = res
+				if opts.Sink != nil {
+					sinkMu.Lock()
+					opts.Sink(res)
+					sinkMu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+feed:
+	for idx := range cells {
+		select {
+		case jobs <- idx:
+		case <-runCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Prefer a root-cause cell failure over the cancellations it induced
+	// in sibling workers.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || errors.Is(firstErr, context.Canceled) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+
+	// The echo omits the worker budget: it is pure scheduling, and
+	// including it would break byte-identical artifacts across -workers.
+	echo := norm
+	echo.Workers = 0
+	return &Artifact{
+		SchemaVersion: ArtifactVersion,
+		Spec:          echo,
+		Cells:         results,
+	}, nil
+}
+
+// runCell evaluates one cell on its private RNG substream. innerWorkers
+// bounds the cell's Monte Carlo parallelism (scheduling only).
+func runCell(ctx context.Context, spec Spec, cell Cell, seed uint64, innerWorkers int, timing bool) (CellResult, error) {
+	res := CellResult{Cell: cell, EffectiveM: cell.PrefixLen}
+	start := time.Now()
+
+	model, err := memmodel.ByName(cell.Model)
+	if err != nil {
+		return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+	}
+	cfg := core.Config{
+		Model:     model,
+		Threads:   cell.Threads,
+		PrefixLen: cell.PrefixLen,
+		StoreProb: spec.StoreProb,
+		SwapProb:  spec.SwapProb,
+	}
+	mcCfg := mc.Config{Trials: spec.Trials, Workers: innerWorkers, Seed: seed}
+
+	switch cell.Estimator {
+	case Exact:
+		if cell.Threads != 2 {
+			res.Skipped = true
+			res.Note = "exact DP requires n = 2"
+			break
+		}
+		if cfg.PrefixLen > ExactPrefixCap {
+			cfg.PrefixLen = ExactPrefixCap
+			res.EffectiveM = ExactPrefixCap
+			res.Note = fmt.Sprintf("m clamped to %d for exact DP", ExactPrefixCap)
+		}
+		iv, err := core.ExactTwoThreadPrA(cfg)
+		if err != nil {
+			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+		}
+		res.Estimate = iv.Midpoint()
+		res.Lo, res.Hi = iv.Lo, iv.Hi
+		res.LogEstimate = safeLog(res.Estimate)
+
+	case FullMC:
+		out, err := core.EstimateNoBugProb(ctx, cfg, mcCfg)
+		if err != nil {
+			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+		}
+		lo, hi, err := out.WilsonCI(ciLevel)
+		if err != nil {
+			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+		}
+		res.Estimate = out.Estimate()
+		res.Lo, res.Hi = lo, hi
+		res.LogEstimate = safeLog(res.Estimate)
+
+	case Hybrid:
+		out, err := core.HybridPrA(ctx, cfg, mcCfg)
+		if err != nil {
+			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+		}
+		res.Estimate = out.PrA
+		res.LogEstimate = out.LogPrA
+		res.StdErr = out.StdErr
+
+	case WindowDist:
+		m := cell.PrefixLen
+		if m > ExactPrefixCap {
+			m = ExactPrefixCap
+			res.EffectiveM = m
+			res.Note = fmt.Sprintf("m clamped to %d for exact DP", ExactPrefixCap)
+		}
+		maxGamma := spec.MaxGamma
+		if maxGamma > m {
+			maxGamma = m
+		}
+		pmf, err := settle.ExactWindowDist(model, m, spec.StoreProb, spec.SwapProb, maxGamma)
+		if err != nil {
+			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+		}
+		res.Dist = make([]float64, maxGamma+1)
+		mean := 0.0
+		for gamma := range res.Dist {
+			res.Dist[gamma] = pmf.At(gamma)
+			mean += float64(gamma) * pmf.At(gamma)
+		}
+		res.Estimate = mean
+
+	default:
+		return res, fmt.Errorf("%w: unknown estimator %q", ErrBadSpec, cell.Estimator)
+	}
+
+	if timing {
+		res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	return res, nil
+}
+
+// safeLog returns ln(x) for positive x and 0 otherwise, keeping cell
+// results JSON-encodable (encoding/json rejects ±Inf).
+func safeLog(x float64) float64 {
+	if x > 0 {
+		return math.Log(x)
+	}
+	return 0
+}

@@ -33,6 +33,7 @@ import (
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
 	"memreliability/internal/settle"
+	"memreliability/internal/sweep"
 )
 
 // Model is a memory consistency model (a Table 1 reordering matrix).
@@ -49,6 +50,32 @@ type HybridResult = core.HybridResult
 
 // ScalingRow is one row of a Theorem 6.3 thread-scaling sweep.
 type ScalingRow = core.ScalingRow
+
+// SweepSpec declaratively describes an experiment sweep: a grid of
+// models × thread counts × prefix lengths × estimator kinds, plus trials,
+// seed, and worker budget.
+type SweepSpec = sweep.Spec
+
+// SweepKind names an estimation route within a sweep.
+type SweepKind = sweep.Kind
+
+// Sweep estimator kinds.
+const (
+	SweepExact      = sweep.Exact
+	SweepFullMC     = sweep.FullMC
+	SweepHybrid     = sweep.Hybrid
+	SweepWindowDist = sweep.WindowDist
+)
+
+// SweepArtifact is the versioned, reproducible result of a sweep run.
+type SweepArtifact = sweep.Artifact
+
+// SweepCellResult is one completed sweep grid cell.
+type SweepCellResult = sweep.CellResult
+
+// SweepOptions tunes a sweep run (timing, progress sink) without
+// affecting its results.
+type SweepOptions = sweep.Options
 
 // LitmusTest is a named litmus test with per-model expectations.
 type LitmusTest = litmus.Test
@@ -127,8 +154,24 @@ func HybridNoBugProbability(ctx context.Context, model Model, threads, trials in
 
 // ThreadScaling sweeps thread counts for the given models and reports the
 // Theorem 6.3 normalized decay rates −ln Pr[A]/n² and their ratio to SC.
+// The sweep runs through the orchestration engine: one hybrid cell per
+// model × n, sharded across a worker pool, deterministic in the seed.
 func ThreadScaling(ctx context.Context, models []Model, ns []int, trials int, seed uint64) ([]ScalingRow, error) {
-	return core.ThreadScalingSweep(ctx, models, ns, 64, mc.Config{Trials: trials, Seed: seed})
+	return sweep.ThreadScaling(ctx, models, ns, 64, mc.Config{Trials: trials, Seed: seed})
+}
+
+// DefaultSweepSpec returns a spec pre-filled with the paper's normal-form
+// scalar parameters (p = s = 1/2, max gamma 8); fill in the grid fields
+// before running it.
+func DefaultSweepSpec() SweepSpec { return sweep.DefaultSpec() }
+
+// RunSweep expands the spec's grid, runs every cell, and returns the
+// collected artifact. Artifacts are reproducible: identical (spec, seed)
+// produce byte-identical JSON regardless of the spec's worker budget.
+// Start from DefaultSweepSpec unless you mean to set every scalar field
+// yourself — zero probabilities are honored as genuine zeros.
+func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepArtifact, error) {
+	return sweep.Run(ctx, spec, opts)
 }
 
 // LitmusTests returns the built-in litmus registry (SB, MP, LB, 2+2W,

@@ -85,6 +85,30 @@ func TestFacadeHybridAndScaling(t *testing.T) {
 	}
 }
 
+func TestFacadeRunSweep(t *testing.T) {
+	ctx := context.Background()
+	spec := DefaultSweepSpec()
+	spec.Models = []string{"SC", "WO"}
+	spec.Threads = []int{2}
+	spec.PrefixLens = []int{12}
+	spec.Estimators = []SweepKind{SweepExact, SweepHybrid}
+	spec.Trials = 2000
+	spec.Seed = 11
+	art, err := RunSweep(ctx, spec, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Cells) != 4 {
+		t.Fatalf("cells = %d", len(art.Cells))
+	}
+	if math.Abs(art.Cells[0].Estimate-1.0/6.0) > 1e-3 {
+		t.Errorf("SC exact = %v", art.Cells[0].Estimate)
+	}
+	if _, err := RunSweep(ctx, SweepSpec{}, SweepOptions{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
 func TestFacadeLitmus(t *testing.T) {
 	if len(LitmusTests()) < 7 {
 		t.Error("registry too small")
