@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint ci
+.PHONY: all build test bench lint smoke-serve ci
 
 all: ci
 
@@ -16,6 +16,9 @@ test:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$'
 
+smoke-serve:
+	./scripts/smoke_serve.sh
+
 lint:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
@@ -24,4 +27,4 @@ lint:
 	$(GO) vet ./...
 	$(GO) vet ./examples/...
 
-ci: lint build test bench
+ci: lint build test bench smoke-serve

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	litmusrun                      # conformance matrix for all tests
+//	litmusrun -json                # machine-readable conformance results
 //	litmusrun -test SB -freq 20000 # frequency measurement for one test
+//
+// -json emits the same encoding the serve API's GET /v1/litmus endpoint
+// returns (litmus.EncodeResultsJSON).
 package main
 
 import (
@@ -32,8 +36,12 @@ func run(args []string, out io.Writer) error {
 	testName := fs.String("test", "", "run a single named test (default: all)")
 	freq := fs.Int("freq", 0, "also measure target frequency over this many random runs")
 	seed := fs.Uint64("seed", 1, "seed for frequency runs")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (the GET /v1/litmus encoding) instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonOut && *freq > 0 {
+		return fmt.Errorf("-json covers conformance only and cannot be combined with -freq")
 	}
 
 	tests := litmus.Registry()
@@ -45,22 +53,30 @@ func run(args []string, out io.Writer) error {
 		tests = []litmus.Test{t}
 	}
 
-	tbl, err := report.NewTable("Litmus conformance (exhaustive exploration; X = target reachable)",
-		"test", "target", "model", "reachable", "expected", "conforms", "outcomes")
-	if err != nil {
-		return err
-	}
+	var results []litmus.Result
 	for _, t := range tests {
 		for _, model := range memmodel.All() {
 			r, err := litmus.Check(t, model)
 			if err != nil {
 				return err
 			}
-			if err := tbl.AddRowValues(t.Name, t.Target.String(), model.Name(),
-				mark(r.Reachable), mark(r.Expected), fmt.Sprintf("%v", r.Conforms()),
-				r.Outcomes); err != nil {
-				return err
-			}
+			results = append(results, r)
+		}
+	}
+	if *jsonOut {
+		return litmus.EncodeResultsJSON(out, results)
+	}
+
+	tbl, err := report.NewTable("Litmus conformance (exhaustive exploration; X = target reachable)",
+		"test", "target", "model", "reachable", "expected", "conforms", "outcomes")
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := tbl.AddRowValues(r.Test, r.Target, r.Model,
+			mark(r.Reachable), mark(r.Expected), fmt.Sprintf("%v", r.Conforms()),
+			r.Outcomes); err != nil {
+			return err
 		}
 	}
 	if err := tbl.WriteText(out); err != nil {

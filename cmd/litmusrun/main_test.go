@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"memreliability/internal/litmus"
 )
 
 func TestRunAllTests(t *testing.T) {
@@ -39,6 +42,65 @@ func TestRunUnknownTest(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-test", "NOPE"}, &sb); err == nil {
 		t.Error("unknown test accepted")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	var results []struct {
+		Test     string `json:"test"`
+		Model    string `json:"model"`
+		Target   string `json:"target"`
+		Conforms bool   `json:"conforms"`
+		Outcomes int    `json:"outcomes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &results); err != nil {
+		t.Fatalf("output is not the JSON encoding: %v\n%s", err, sb.String())
+	}
+	if len(results) != len(litmus.Registry())*4 {
+		t.Fatalf("%d results, want %d", len(results), len(litmus.Registry())*4)
+	}
+	for _, r := range results {
+		if !r.Conforms {
+			t.Errorf("%s under %s does not conform", r.Test, r.Model)
+		}
+		if r.Target == "" || r.Outcomes == 0 {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+
+	// -json must emit exactly the shared wire encoding the serve API
+	// uses, so machine consumers can switch between the two freely.
+	all, err := litmus.CheckAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := litmus.EncodeResultsJSON(&want, all); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want.String() {
+		t.Error("-json output differs from litmus.EncodeResultsJSON")
+	}
+}
+
+func TestRunJSONSingleTest(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-json", "-test", "MP"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"MP"`) || strings.Contains(sb.String(), `"SB"`) {
+		t.Errorf("single-test JSON wrong:\n%s", sb.String())
+	}
+}
+
+func TestRunJSONRejectsFreq(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-json", "-freq", "100"}, &sb); err == nil {
+		t.Error("-json with -freq accepted")
 	}
 }
 

@@ -1,0 +1,107 @@
+// memserved is the long-running estimation service: an HTTP JSON API over
+// the paper's estimators and the sweep engine, with a canonical-key LRU
+// result cache, singleflight deduplication of concurrent identical
+// requests, and async sweep jobs on a bounded worker pool. Responses for
+// identical (request, seed) are byte-identical, inheriting the engine's
+// reproducibility guarantee.
+//
+// Usage:
+//
+//	memserved                          # listen on :8080
+//	memserved -addr 127.0.0.1:9090 -cache-size 4096 -sweep-workers 2
+//
+// Endpoints: POST /v1/estimate, POST /v1/windowdist, GET /v1/litmus,
+// POST /v1/sweeps (+ GET /v1/sweeps, /v1/sweeps/{id},
+// /v1/sweeps/{id}/artifact), GET /healthz, GET /metrics. See the README
+// for the endpoint reference and curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memreliability/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "memserved: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, logw io.Writer) error {
+	fs := flag.NewFlagSet("memserved", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8080", "listen address")
+	cacheSize := fs.Int("cache-size", 0, "LRU result-cache entries (0 = 1024)")
+	estimateWorkers := fs.Int("estimate-workers", 0, "concurrent estimate computations (0 = GOMAXPROCS)")
+	sweepWorkers := fs.Int("sweep-workers", 0, "concurrent async sweep jobs (0 = 1)")
+	sweepCellWorkers := fs.Int("sweep-cell-workers", 0, "per-job sweep worker budget (0 = GOMAXPROCS); never affects artifacts")
+	queueDepth := fs.Int("queue-depth", 0, "queued sweep jobs before 503 (0 = 16)")
+	maxJobs := fs.Int("max-jobs", 0, "retained sweep jobs incl. finished artifacts; oldest terminal evicted beyond this (0 = 64)")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget for open connections")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	return serveListener(ctx, l, serve.Config{
+		CacheSize:        *cacheSize,
+		EstimateWorkers:  *estimateWorkers,
+		SweepWorkers:     *sweepWorkers,
+		SweepCellWorkers: *sweepCellWorkers,
+		QueueDepth:       *queueDepth,
+		MaxJobs:          *maxJobs,
+	}, *drainTimeout, logw)
+}
+
+// serveListener runs the service on l until ctx is canceled, then drains:
+// open connections get drainTimeout to finish, and the server's workers
+// are stopped. Split from run so tests can inject a listener on an
+// ephemeral port.
+func serveListener(ctx context.Context, l net.Listener, cfg serve.Config, drainTimeout time.Duration, logw io.Writer) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		l.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(l) }()
+	fmt.Fprintf(logw, "memserved: listening on %s\n", l.Addr())
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(logw, "memserved: shutting down")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Stop computations first so drained handlers answer quickly with
+	// 503 instead of holding connections for the full compute.
+	srv.Close()
+	shutdownErr := httpSrv.Shutdown(drainCtx)
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return shutdownErr
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"memreliability/internal/serve"
+)
+
+// startDaemon boots serveListener on an ephemeral port and returns its
+// base URL, a shutdown func, and the exit channel.
+func startDaemon(t *testing.T) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	var logs bytes.Buffer
+	go func() {
+		errc <- serveListener(ctx, l, serve.Config{}, 5*time.Second, &logs)
+	}()
+	return "http://" + l.Addr().String(), cancel, errc
+}
+
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	url, cancel, errc := startDaemon(t)
+
+	// The daemon accepts the connection as soon as Serve starts; poll
+	// briefly in case the goroutine has not scheduled yet.
+	var resp *http.Response
+	var err error
+	for i := 0; i < 100; i++ {
+		resp, err = http.Get(url + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(url+"/v1/estimate", "application/json",
+		strings.NewReader(`{"model":"SC","threads":2,"estimator":"exact"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-bogus"}, io.Discard); err == nil {
+		t.Error("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, io.Discard); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestServeListenerBadConfig(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = serveListener(context.Background(), l, serve.Config{CacheSize: -1}, time.Second, io.Discard)
+	if err == nil {
+		t.Fatal("bad config accepted")
+	}
+	// The listener must have been released.
+	if _, dErr := net.Listen("tcp", l.Addr().String()); dErr != nil {
+		t.Errorf("listener leaked: %v", dErr)
+	}
+}

@@ -1,0 +1,139 @@
+// Command client demonstrates the memserved HTTP API end to end: point
+// it at a running daemon with -url, or run it with no flags and it spins
+// up an in-process server on an ephemeral port.
+//
+// It issues the same estimate twice (showing the X-Cache miss → hit
+// transition and the byte-identical bodies), fetches a window
+// distribution, and drives an async sweep job from submission through
+// polling to the finished versioned artifact.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"memreliability"
+)
+
+func main() {
+	url := flag.String("url", "", "base URL of a running memserved (default: start one in-process)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	base := *url
+	if base == "" {
+		srv, err := memreliability.NewServer(memreliability.ServeConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		httpSrv := &http.Server{Handler: srv}
+		go httpSrv.Serve(l)
+		defer httpSrv.Close()
+		base = "http://" + l.Addr().String()
+		fmt.Printf("started in-process memserved at %s\n\n", base)
+	}
+
+	// The same request twice: the second response comes from the LRU
+	// cache, byte-identical to the first.
+	est := `{"model":"TSO","threads":4,"estimator":"hybrid","trials":20000,"seed":1}`
+	first, cache1 := postJSON(base+"/v1/estimate", est)
+	second, cache2 := postJSON(base+"/v1/estimate", est)
+	var resp memreliability.EstimateResponse
+	must(json.Unmarshal(first, &resp))
+	fmt.Printf("Pr[A] for TSO, n=4 (hybrid): %.6f  (ln = %.4f)\n",
+		resp.Result.Estimate, resp.Result.LogEstimate)
+	fmt.Printf("first request:  X-Cache=%s\n", cache1)
+	fmt.Printf("second request: X-Cache=%s, byte-identical=%v\n\n", cache2, bytes.Equal(first, second))
+
+	// Theorem 4.1 window distribution.
+	wd, _ := postJSON(base+"/v1/windowdist", `{"model":"WO","prefix_len":16,"max_gamma":4}`)
+	var wdResp struct {
+		Result struct {
+			Dist []float64 `json:"dist"`
+		} `json:"result"`
+	}
+	must(json.Unmarshal(wd, &wdResp))
+	fmt.Print("WO window distribution Pr[B_γ]:")
+	for gamma, p := range wdResp.Result.Dist {
+		fmt.Printf("  P(%d)=%.4f", gamma, p)
+	}
+	fmt.Println()
+	fmt.Println()
+
+	// An async sweep job: submit, poll, fetch the versioned artifact.
+	job, _ := postJSON(base+"/v1/sweeps",
+		`{"models":["SC","TSO","WO"],"threads":[2],"estimators":["exact"],"seed":7}`)
+	var status struct {
+		ID           string `json:"id"`
+		State        string `json:"state"`
+		CellsDone    int    `json:"cells_done"`
+		CellsTotal   int    `json:"cells_total"`
+		ArtifactPath string `json:"artifact_path"`
+	}
+	must(json.Unmarshal(job, &status))
+	fmt.Printf("sweep job %s submitted (%d cells)\n", status.ID, status.CellsTotal)
+	for status.State != "done" {
+		if status.State == "failed" || status.State == "canceled" {
+			log.Fatalf("job ended in state %q", status.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+		body := getBody(base + "/v1/sweeps/" + status.ID)
+		must(json.Unmarshal(body, &status))
+	}
+	fmt.Printf("job %s done (%d/%d cells)\n", status.ID, status.CellsDone, status.CellsTotal)
+
+	artBody := getBody(base + status.ArtifactPath)
+	decoded, err := memreliability.DecodeSweepArtifact(bytes.NewReader(artBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cell := range decoded.Cells {
+		fmt.Printf("  %-4s n=%d  Pr[A] = %.6f\n", cell.Model, cell.Threads, cell.Estimate)
+	}
+}
+
+// postJSON POSTs a JSON body and returns the response body and X-Cache.
+func postJSON(url, body string) ([]byte, string) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	must(err)
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	must(err)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("POST %s: %d: %s", url, resp.StatusCode, data)
+	}
+	return data, resp.Header.Get("X-Cache")
+}
+
+// getBody GETs a URL and returns its body, aborting on any non-200.
+func getBody(url string) []byte {
+	resp, err := http.Get(url)
+	must(err)
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	must(err)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %d: %s", url, resp.StatusCode, data)
+	}
+	return data
+}
+
+// must aborts on error.
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

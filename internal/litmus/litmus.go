@@ -11,8 +11,10 @@
 package litmus
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"sort"
 
 	"memreliability/internal/machine"
@@ -287,6 +289,8 @@ func ByName(name string) (Test, error) {
 type Result struct {
 	Test  string
 	Model string
+	// Target is the rendered target condition.
+	Target string
 	// Reachable reports whether the target outcome is reachable
 	// (exhaustive exploration).
 	Reachable bool
@@ -298,6 +302,37 @@ type Result struct {
 
 // Conforms reports whether observation matched expectation.
 func (r Result) Conforms() bool { return r.Reachable == r.Expected }
+
+// MarshalJSON emits the machine-readable record, including the derived
+// Conforms field. This is the single wire encoding of a conformance
+// result; cmd/litmusrun -json and the serve API's GET /v1/litmus both
+// emit it, so the two cannot drift apart.
+func (r Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Test      string `json:"test"`
+		Model     string `json:"model"`
+		Target    string `json:"target"`
+		Reachable bool   `json:"reachable"`
+		Expected  bool   `json:"expected"`
+		Conforms  bool   `json:"conforms"`
+		Outcomes  int    `json:"outcomes"`
+	}{r.Test, r.Model, r.Target, r.Reachable, r.Expected, r.Conforms(), r.Outcomes})
+}
+
+// EncodeResultsJSON writes results as indented JSON followed by a
+// newline — the shared machine-readable encoding of litmus conformance.
+// Encoding the same results always produces identical bytes.
+func EncodeResultsJSON(w io.Writer, results []Result) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("litmus: encode results: %w", err)
+	}
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("litmus: write results: %w", err)
+	}
+	return nil
+}
 
 // Check exhaustively explores the test under the model and compares the
 // target's reachability against the expectation.
@@ -328,6 +363,7 @@ func Check(t Test, model memmodel.Model) (Result, error) {
 	return Result{
 		Test:      t.Name,
 		Model:     model.Name(),
+		Target:    t.Target.String(),
 		Reachable: reachable,
 		Expected:  expected,
 		Outcomes:  len(outcomes),

@@ -137,6 +137,8 @@ func (t *Table) WriteCSV(w io.Writer) error {
 }
 
 // WriteMarkdown renders the table as a GitHub-flavored Markdown table.
+// Cell content is escaped so pipes and newlines cannot break the table
+// structure.
 func (t *Table) WriteMarkdown(w io.Writer) error {
 	var sb strings.Builder
 	if t.title != "" {
@@ -144,22 +146,47 @@ func (t *Table) WriteMarkdown(w io.Writer) error {
 		sb.WriteString(t.title)
 		sb.WriteString("\n\n")
 	}
-	sb.WriteString("| ")
-	sb.WriteString(strings.Join(t.headers, " | "))
-	sb.WriteString(" |\n|")
+	writeRow := func(cells []string) {
+		sb.WriteString("| ")
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(escapeMarkdownCell(cell))
+		}
+		sb.WriteString(" |\n")
+	}
+	writeRow(t.headers)
+	sb.WriteByte('|')
 	for range t.headers {
 		sb.WriteString("---|")
 	}
 	sb.WriteByte('\n')
 	for _, row := range t.rows {
-		sb.WriteString("| ")
-		sb.WriteString(strings.Join(row, " | "))
-		sb.WriteString(" |\n")
+		writeRow(row)
 	}
 	if _, err := io.WriteString(w, sb.String()); err != nil {
 		return fmt.Errorf("report: write markdown: %w", err)
 	}
 	return nil
+}
+
+// markdownCellEscaper rewrites the characters that would break a GFM
+// table cell: "|" ends the cell and a newline ends the row. Backslash is
+// escaped too, so a literal trailing backslash cannot turn the emitted
+// `\|` back into a structural pipe.
+var markdownCellEscaper = strings.NewReplacer(
+	`\`, `\\`,
+	"|", `\|`,
+	"\r\n", "<br>",
+	"\n", "<br>",
+	"\r", "<br>",
+)
+
+// escapeMarkdownCell makes an arbitrary string safe inside one GFM table
+// cell.
+func escapeMarkdownCell(cell string) string {
+	return markdownCellEscaper.Replace(cell)
 }
 
 // Write renders the table in the named format: "text" (or ""), "csv", or

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"errors"
 	"strings"
 	"testing"
@@ -112,6 +113,112 @@ func TestWriteCSVEscaping(t *testing.T) {
 	}
 	if !strings.HasPrefix(out, "a,b\r\n") {
 		t.Errorf("header = %q", out)
+	}
+}
+
+// TestWriteCSVEscapingRoundTrip drives the tricky cell contents through
+// a real RFC-4180 parser: whatever the writer emits must decode back to
+// the original cells exactly.
+func TestWriteCSVEscapingRoundTrip(t *testing.T) {
+	rows := [][]string{
+		{`plain`, `has,comma`, `has"quote`},
+		{`"leading quote`, `trailing quote"`, `both",and,comma`},
+		{"embedded\nnewline", "crlf\r\npair", `|pipe| is plain in CSV`},
+		{`comma, "quote", and`, "\n", ``},
+	}
+	tbl, err := NewTable("", "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := tbl.AddRow(row...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	rd := csv.NewReader(strings.NewReader(sb.String()))
+	decoded, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v\n%s", err, sb.String())
+	}
+	if len(decoded) != len(rows)+1 {
+		t.Fatalf("decoded %d records, want %d", len(decoded), len(rows)+1)
+	}
+	for i, row := range rows {
+		for j, want := range row {
+			// encoding/csv folds \r\n inside quoted fields to \n
+			// (RFC 4180 reads CRLF as a line ending); normalize the
+			// expectation the same way.
+			want = strings.ReplaceAll(want, "\r\n", "\n")
+			if got := decoded[i+1][j]; got != want {
+				t.Errorf("row %d col %d = %q, want %q", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestWriteMarkdownEscaping checks that pipes and newlines in cells
+// cannot break the GFM table structure: every emitted line must still be
+// one table row.
+func TestWriteMarkdownEscaping(t *testing.T) {
+	tbl, err := NewTable("", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow(`P(0)=0.66|P(1)=0.17`, `has,comma`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow("line\nbreak", `quote"and|pipe`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddRow(`backslash-pipe\|combo`, `trailing\`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tbl.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines, want 5 (header, rule, 3 rows):\n%s", len(lines), out)
+	}
+	for i, line := range lines {
+		if i == 1 {
+			continue // delimiter row
+		}
+		// Unescaped pipes delimit cells; after removing escaped
+		// backslashes and then escaped pipes, each row must have exactly
+		// the 3 structural pipes of a two-column table.
+		stripped := strings.ReplaceAll(line, `\\`, "")
+		stripped = strings.ReplaceAll(stripped, `\|`, "")
+		structural := strings.Count(stripped, "|")
+		if structural != 3 {
+			t.Errorf("line %d has %d structural pipes, want 3: %q", i, structural, line)
+		}
+	}
+	if !strings.Contains(out, `P(0)=0.66\|P(1)=0.17`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+	// `\|` in the source cell must emit as escaped-backslash +
+	// escaped-pipe, and a trailing backslash must not eat the closing
+	// structural pipe.
+	if !strings.Contains(out, `backslash-pipe\\\|combo`) {
+		t.Errorf("backslash before pipe not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `trailing\\ |`) {
+		t.Errorf("trailing backslash not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, "line<br>break") {
+		t.Errorf("newline not neutralized:\n%s", out)
+	}
+	if !strings.Contains(out, "has,comma") {
+		t.Errorf("comma mangled (it needs no escape in Markdown):\n%s", out)
 	}
 }
 

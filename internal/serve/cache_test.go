@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestLRUBasic(t *testing.T) {
+	c := newLRUCache(2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Add("a", []byte("1"))
+	c.Add("b", []byte("2"))
+	if v, ok := c.Get("a"); !ok || !bytes.Equal(v, []byte("1")) {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+	// "b" is now least recently used and must be the one evicted.
+	c.Add("c", []byte("3"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRUCache(2)
+	c.Add("a", []byte("1"))
+	c.Add("a", []byte("2"))
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	if v, _ := c.Get("a"); !bytes.Equal(v, []byte("2")) {
+		t.Errorf("a = %q, want 2", v)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRUCache(8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			key := string(rune('a' + g))
+			for i := 0; i < 1000; i++ {
+				c.Add(key, []byte{byte(i)})
+				c.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"memreliability/internal/sweep"
+)
+
+// smallSpec is a fast two-cell sweep for job tests.
+func smallSpec(seed uint64) sweep.Spec {
+	spec := sweep.DefaultSpec()
+	spec.Models = []string{"SC", "TSO"}
+	spec.Estimators = []sweep.Kind{sweep.Exact}
+	spec.Seed = seed
+	return spec
+}
+
+// waitTerminal polls the store until the job leaves queued/running.
+func waitTerminal(t *testing.T, st *jobStore, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		status, err := st.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch status.State {
+		case StateDone, StateFailed, StateCanceled:
+			return status
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", id, status.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobIDIgnoresWorkers(t *testing.T) {
+	a := smallSpec(1).Normalized()
+	b := a
+	a.Workers = 1
+	b.Workers = 32
+	idA, err := jobID(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := jobID(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idA != idB {
+		t.Errorf("worker budget changed job identity: %s vs %s", idA, idB)
+	}
+	idC, err := jobID(smallSpec(2).Normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idC == idA {
+		t.Error("different seeds share a job identity")
+	}
+}
+
+func TestJobStoreSubmitRunDedup(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := newJobStore(ctx, 1, 0, 4, 64)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+
+	status, created, err := st.Submit(ctx, smallSpec(5))
+	if err != nil || !created {
+		t.Fatalf("submit: created=%v err=%v", created, err)
+	}
+	if status.CellsTotal != 2 {
+		t.Fatalf("cells_total = %d, want 2", status.CellsTotal)
+	}
+	final := waitTerminal(t, st, status.ID)
+	if final.State != StateDone || final.CellsDone != 2 {
+		t.Fatalf("final = %+v", final)
+	}
+
+	// Resubmission after completion must return the finished job.
+	again, created, err := st.Submit(ctx, smallSpec(5))
+	if err != nil || created {
+		t.Fatalf("resubmit: created=%v err=%v", created, err)
+	}
+	if again.ID != status.ID || again.State != StateDone {
+		t.Fatalf("resubmit status = %+v", again)
+	}
+
+	body, _, err := st.Artifact(status.ID)
+	if err != nil || len(body) == 0 {
+		t.Fatalf("artifact: %d bytes, err=%v", len(body), err)
+	}
+}
+
+func TestJobStoreValidatesSpec(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := newJobStore(ctx, 1, 0, 4, 64)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+	spec := smallSpec(1)
+	spec.Models = []string{"ARM"}
+	if _, _, err := st.Submit(ctx, spec); !errors.Is(err, sweep.ErrBadSpec) {
+		t.Fatalf("err = %v, want ErrBadSpec", err)
+	}
+}
+
+func TestJobStoreQueueBound(t *testing.T) {
+	// Zero workers: nothing drains the queue, so the bound must bite.
+	ctx, cancel := context.WithCancel(context.Background())
+	st := newJobStore(ctx, 0, 0, 2, 64)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+	for seed := uint64(1); seed <= 2; seed++ {
+		if _, _, err := st.Submit(ctx, smallSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := st.Submit(ctx, smallSpec(3)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	// A duplicate of a queued job dedups instead of consuming capacity.
+	if _, created, err := st.Submit(ctx, smallSpec(1)); err != nil || created {
+		t.Fatalf("dedup on full queue: created=%v err=%v", created, err)
+	}
+}
+
+func TestJobStoreEvictsOldestTerminal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := newJobStore(ctx, 1, 0, 4, 2)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+
+	first, _, err := st.Submit(ctx, smallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, st, first.ID)
+	second, _, err := st.Submit(ctx, smallSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, st, second.ID)
+
+	// The store is at capacity with two terminal jobs; a third must
+	// evict the oldest one.
+	third, created, err := st.Submit(ctx, smallSpec(3))
+	if err != nil || !created {
+		t.Fatalf("submit at capacity: created=%v err=%v", created, err)
+	}
+	if _, err := st.Status(first.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("oldest terminal job not evicted: %v", err)
+	}
+	if _, err := st.Status(second.ID); err != nil {
+		t.Errorf("newer job evicted: %v", err)
+	}
+	if len(st.List()) != 2 {
+		t.Errorf("store holds %d jobs, want 2", len(st.List()))
+	}
+	waitTerminal(t, st, third.ID)
+
+	// An evicted spec is recomputable: resubmission creates a fresh job.
+	again, created, err := st.Submit(ctx, smallSpec(1))
+	if err != nil || !created {
+		t.Fatalf("resubmit evicted: created=%v err=%v", created, err)
+	}
+	if again.ID != first.ID {
+		t.Errorf("content address changed: %s vs %s", again.ID, first.ID)
+	}
+}
+
+func TestJobStoreRefusesWhenAllActive(t *testing.T) {
+	// Zero workers: submitted jobs stay queued (active) forever, so at
+	// capacity there is nothing evictable.
+	ctx, cancel := context.WithCancel(context.Background())
+	st := newJobStore(ctx, 0, 0, 4, 2)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+	for seed := uint64(1); seed <= 2; seed++ {
+		if _, _, err := st.Submit(ctx, smallSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := st.Submit(ctx, smallSpec(3)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy when every job is active", err)
+	}
+}
+
+func TestJobStoreFullQueueDoesNotEvict(t *testing.T) {
+	// A submission that will be refused for queue capacity must not
+	// first destroy a retained artifact.
+	ctx, cancel := context.WithCancel(context.Background())
+	st := newJobStore(ctx, 0, 0, 1, 2)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+
+	// Hand-insert a finished job (zero workers, so Submit alone can
+	// never produce one).
+	st.mu.Lock()
+	st.jobs["old"] = &jobRecord{id: "old", state: StateDone, artifact: []byte("artifact")}
+	st.order = append(st.order, "old")
+	st.mu.Unlock()
+
+	if _, _, err := st.Submit(ctx, smallSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Store at MaxJobs and queue at capacity: the refusal must leave the
+	// finished job and its artifact untouched.
+	if _, _, err := st.Submit(ctx, smallSpec(2)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	body, status, err := st.Artifact("old")
+	if err != nil || status.State != StateDone || string(body) != "artifact" {
+		t.Fatalf("finished job damaged by refused submission: %q %+v %v", body, status, err)
+	}
+}
+
+func TestJobStoreShutdownCancelsQueued(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	st := newJobStore(ctx, 0, 0, 4, 64)
+	status, _, err := st.Submit(ctx, smallSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	st.drainAndWait()
+	final, err := st.Status(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled", final.State)
+	}
+	if _, _, err := st.Submit(ctx, smallSpec(10)); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown submit err = %v, want ErrShuttingDown", err)
+	}
+}

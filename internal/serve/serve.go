@@ -1,0 +1,611 @@
+// Package serve is the HTTP estimation service: a long-running JSON API
+// over the paper's estimators (Pr[A] exact/full-MC/hybrid, Theorem 4.1
+// window distributions, litmus conformance) and the sweep engine.
+//
+// The hot path leans on the engine's reproducibility guarantee: every
+// estimator is deterministic in its request, so responses are perfectly
+// cacheable. Cached endpoints share one pipeline — a canonical request
+// key, an LRU cache of encoded response bodies, and singleflight
+// deduplication so N concurrent identical requests run the estimator
+// once and all receive byte-identical bodies. Async sweep jobs run on a
+// separate bounded worker pool (so a heavy sweep can never starve a
+// cheap estimate) and are content-addressed by their normalized spec,
+// which deduplicates resubmissions for free.
+//
+// Endpoints:
+//
+//	POST /v1/estimate              Pr[A] via exact | mc | hybrid
+//	POST /v1/windowdist            exact Pr[B_γ] distribution (Thm 4.1)
+//	GET  /v1/litmus                litmus conformance matrix
+//	POST /v1/sweeps                submit an async sweep job
+//	GET  /v1/sweeps                list jobs
+//	GET  /v1/sweeps/{id}           poll one job
+//	GET  /v1/sweeps/{id}/artifact  fetch the finished versioned artifact
+//	GET  /healthz                  liveness
+//	GET  /metrics                  expvar counters (hits, misses, …)
+//
+// Cache state travels in the X-Cache response header (miss | hit |
+// dedup), never in the body — bodies stay byte-identical across cache
+// states.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"memreliability/internal/litmus"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/sweep"
+)
+
+// ErrBadConfig reports an invalid server configuration.
+var ErrBadConfig = errors.New("serve: bad config")
+
+// ErrBadRequest reports a malformed or invalid API request.
+var ErrBadRequest = errors.New("serve: bad request")
+
+// Config configures a Server. The zero value gets sensible defaults.
+type Config struct {
+	// CacheSize bounds the LRU result cache, in entries. 0 means 1024.
+	CacheSize int
+	// EstimateWorkers bounds concurrent cached-endpoint computations
+	// (estimate, windowdist, litmus). Each admitted computation is
+	// single-streamed, so this is also the endpoint's total CPU
+	// parallelism. 0 means GOMAXPROCS.
+	EstimateWorkers int
+	// SweepWorkers bounds concurrent async sweep jobs. 0 means 1.
+	SweepWorkers int
+	// SweepCellWorkers is the per-job sweep worker budget (pure
+	// scheduling — artifacts never depend on it). 0 means GOMAXPROCS.
+	SweepCellWorkers int
+	// QueueDepth bounds queued-but-not-running sweep jobs; submissions
+	// beyond it are rejected with 503. 0 means 16.
+	QueueDepth int
+	// MaxJobs bounds retained sweep jobs, finished artifacts included:
+	// once full, a new submission evicts the oldest terminal job, or is
+	// rejected with 503 while every retained job is still active. Keeps
+	// a long-running daemon's memory bounded. 0 means 64.
+	MaxJobs int
+}
+
+// withDefaults returns the config with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.EstimateWorkers == 0 {
+		c.EstimateWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.SweepWorkers == 0 {
+		c.SweepWorkers = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxJobs == 0 {
+		c.MaxJobs = 64
+	}
+	return c
+}
+
+// validate rejects negative knobs.
+func (c Config) validate() error {
+	if c.CacheSize < 0 || c.EstimateWorkers < 0 || c.SweepWorkers < 0 ||
+		c.SweepCellWorkers < 0 || c.QueueDepth < 0 || c.MaxJobs < 0 {
+		return fmt.Errorf("%w: negative size or worker count", ErrBadConfig)
+	}
+	return nil
+}
+
+// serverMetrics are the service's expvar counters. They live on the
+// server (not the process-global expvar registry) so independent servers
+// — and tests — never collide.
+type serverMetrics struct {
+	vars *expvar.Map
+
+	requests     *expvar.Int   // HTTP requests served
+	hits         *expvar.Int   // cache hits
+	misses       *expvar.Int   // cache misses (one per leader computation)
+	dedup        *expvar.Int   // requests that shared an in-flight computation
+	computations *expvar.Int   // estimator executions (== misses; counted inside the leader)
+	inflight     *expvar.Int   // computations currently running
+	jobsAccepted *expvar.Int   // sweep jobs enqueued
+	latencyMS    *expvar.Float // cumulative request latency, milliseconds
+}
+
+// newServerMetrics builds the counter set.
+func newServerMetrics() *serverMetrics {
+	m := &serverMetrics{
+		vars:         new(expvar.Map).Init(),
+		requests:     new(expvar.Int),
+		hits:         new(expvar.Int),
+		misses:       new(expvar.Int),
+		dedup:        new(expvar.Int),
+		computations: new(expvar.Int),
+		inflight:     new(expvar.Int),
+		jobsAccepted: new(expvar.Int),
+		latencyMS:    new(expvar.Float),
+	}
+	m.vars.Set("requests", m.requests)
+	m.vars.Set("cache_hits", m.hits)
+	m.vars.Set("cache_misses", m.misses)
+	m.vars.Set("dedup_shared", m.dedup)
+	m.vars.Set("computations", m.computations)
+	m.vars.Set("inflight", m.inflight)
+	m.vars.Set("jobs_accepted", m.jobsAccepted)
+	m.vars.Set("latency_ms_total", m.latencyMS)
+	return m
+}
+
+// Server is the estimation service. It implements http.Handler; pair it
+// with an http.Server (see cmd/memserved) or httptest for tests. Close
+// releases its background workers.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	cache   *lruCache
+	flight  *flightGroup
+	jobs    *jobStore
+	metrics *serverMetrics
+	sem     chan struct{} // estimate-worker slots
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+}
+
+// New returns a started server. Call Close when done with it.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newLRUCache(cfg.CacheSize),
+		flight:  newFlightGroup(),
+		jobs:    newJobStore(ctx, cfg.SweepWorkers, cfg.SweepCellWorkers, cfg.QueueDepth, cfg.MaxJobs),
+		metrics: newServerMetrics(),
+		sem:     make(chan struct{}, cfg.EstimateWorkers),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/litmus", s.handleLitmus)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/windowdist", s.handleWindowDist)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/artifact", s.handleSweepArtifact)
+	return s, nil
+}
+
+// Close stops accepting new computations, cancels running ones, and
+// waits for the sweep workers to exit. In-flight HTTP handlers return
+// 503 once their computation observes the cancellation; draining open
+// connections is the enclosing http.Server's job (Shutdown).
+func (s *Server) Close() {
+	s.cancel()
+	s.jobs.drainAndWait()
+}
+
+// ServeHTTP dispatches to the API routes, counting every request and its
+// latency.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+	s.metrics.latencyMS.Add(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// writeJSON writes v as indented JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, `{"error":"encode response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+// writeError writes the uniform JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// errorStatus maps a computation or submission error to an HTTP status.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBusy):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadRequest), errors.Is(err, sweep.ErrBadSpec):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// decodeStrict decodes the request body over the given defaults base,
+// rejecting unknown fields and trailing garbage. Omitted fields keep the
+// base's paper defaults; explicit zeros stick.
+func decodeStrict(r *http.Request, base any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(base); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest)
+	}
+	return nil
+}
+
+// cached serves one cacheable endpoint: look the canonical key up in the
+// LRU, and on a miss run compute behind singleflight and the estimate
+// worker semaphore, caching the encoded body. Concurrent identical
+// requests share one computation; every path returns the same bytes.
+func (s *Server) cached(w http.ResponseWriter, key string, compute func(ctx context.Context) (any, error)) {
+	if body, ok := s.cache.Get(key); ok {
+		s.metrics.hits.Add(1)
+		s.writeCached(w, "hit", body)
+		return
+	}
+	// leaderState is written only inside fn, which Do runs on this
+	// goroutine when (and only when) shared comes back false.
+	leaderState := "miss"
+	body, err, shared := s.flight.Do(key, func() ([]byte, error) {
+		// Double-check the cache as leader: a caller that missed, then
+		// was descheduled past a previous leader's entire compute+cache,
+		// becomes a new leader here — the recheck turns that duplicate
+		// computation into a hit, keeping "identical concurrent requests
+		// compute once" airtight.
+		if body, ok := s.cache.Get(key); ok {
+			s.metrics.hits.Add(1)
+			leaderState = "hit"
+			return body, nil
+		}
+		s.metrics.misses.Add(1)
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		// Refuse before the select: with a free semaphore slot AND a
+		// canceled context both ready, select picks randomly — this
+		// check makes post-Close refusal deterministic.
+		if s.baseCtx.Err() != nil {
+			return nil, ErrShuttingDown
+		}
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-s.baseCtx.Done():
+			return nil, ErrShuttingDown
+		}
+		// Compute against the server's context, not the request's: the
+		// result is shared with concurrent duplicates and then cached,
+		// so one impatient client must not poison it.
+		s.metrics.computations.Add(1)
+		v, err := compute(s.baseCtx)
+		if err != nil {
+			if s.baseCtx.Err() != nil {
+				return nil, ErrShuttingDown
+			}
+			return nil, err
+		}
+		// Computations that ignore ctx (litmus.CheckAll) can complete
+		// across a Close; honor the shutdown rather than caching and
+		// serving mid-drain.
+		if s.baseCtx.Err() != nil {
+			return nil, ErrShuttingDown
+		}
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("serve: encode response: %w", err)
+		}
+		data = append(data, '\n')
+		s.cache.Add(key, data)
+		return data, nil
+	})
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	state := leaderState
+	if shared {
+		s.metrics.dedup.Add(1)
+		state = "dedup"
+	}
+	s.writeCached(w, state, body)
+}
+
+// writeCached writes a cacheable body with its X-Cache state.
+func (s *Server) writeCached(w http.ResponseWriter, state string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", state)
+	w.Write(body)
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleMetrics serves the server's expvar counters as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.vars.String())
+}
+
+// EstimateRequest asks for one Pr[A] estimate. Omitted fields take the
+// paper's defaults (n=2, m=64, hybrid, 50000 trials, p=s=1/2, seed 1);
+// explicit zeros stick, mirroring the sweep spec's decode-over-defaults
+// convention.
+type EstimateRequest struct {
+	// Model is a memory model name resolvable by ModelByName.
+	Model string `json:"model"`
+	// Threads is n (≥ 2).
+	Threads int `json:"threads"`
+	// PrefixLen is m; the exact estimator clamps it to the engine's
+	// ExactPrefixCap, recorded in the result's effective_m and note.
+	PrefixLen int `json:"prefix_len"`
+	// Estimator is exact, mc, or hybrid (windowdist has its own
+	// endpoint).
+	Estimator sweep.Kind `json:"estimator"`
+	// Trials is the Monte Carlo budget (mc and hybrid only).
+	Trials int `json:"trials"`
+	// Seed fully determines the response body.
+	Seed uint64 `json:"seed"`
+	// StoreProb is p and SwapProb is s.
+	StoreProb float64 `json:"store_prob"`
+	SwapProb  float64 `json:"swap_prob"`
+}
+
+// defaultEstimateRequest is the decode base with the paper's defaults.
+func defaultEstimateRequest() EstimateRequest {
+	return EstimateRequest{
+		Threads:   2,
+		PrefixLen: 64,
+		Estimator: sweep.Hybrid,
+		Trials:    50000,
+		Seed:      1,
+		StoreProb: 0.5,
+		SwapProb:  0.5,
+	}
+}
+
+// EstimateResponse echoes the normalized request and carries the cell
+// result, exactly as the corresponding single-cell sweep artifact would.
+type EstimateResponse struct {
+	Request EstimateRequest  `json:"request"`
+	Result  sweep.CellResult `json:"result"`
+}
+
+// spec converts the request into its equivalent single-cell sweep spec,
+// so the endpoint inherits the engine's validation, clamping, and
+// reproducibility instead of reimplementing them. Workers is pure
+// scheduling (results never depend on it); the handlers pass 1 so that
+// the semaphore, not per-request fan-out, is the endpoint's parallelism
+// bound — EstimateWorkers concurrent single-streamed computations, not
+// EstimateWorkers² goroutines.
+func (req EstimateRequest) spec(workers int) sweep.Spec {
+	spec := sweep.DefaultSpec()
+	spec.Models = []string{req.Model}
+	spec.Threads = []int{req.Threads}
+	spec.PrefixLens = []int{req.PrefixLen}
+	spec.Estimators = []sweep.Kind{req.Estimator}
+	spec.Trials = req.Trials
+	spec.Seed = req.Seed
+	spec.StoreProb = req.StoreProb
+	spec.SwapProb = req.SwapProb
+	spec.Workers = workers
+	return spec
+}
+
+// handleEstimate serves POST /v1/estimate through the cached pipeline.
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	req := defaultEstimateRequest()
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Estimator = sweep.Kind(strings.ToLower(string(req.Estimator)))
+	req.Model = canonicalModelName(req.Model)
+	if req.Estimator == sweep.WindowDist {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: estimator windowdist has its own endpoint, POST /v1/windowdist", ErrBadRequest))
+		return
+	}
+	// Inside a grid sweep an unsatisfiable cell is skipped; for a
+	// single-cell request a skip would read as Pr[A] = 0, so reject it.
+	if req.Estimator == sweep.Exact && req.Threads != 2 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: exact estimator requires threads=2, got %d", ErrBadRequest, req.Threads))
+		return
+	}
+	spec := req.spec(1)
+	if err := spec.Normalized().Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := canonicalKey("estimate", req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.cached(w, key, func(ctx context.Context) (any, error) {
+		art, err := sweep.Run(ctx, spec, sweep.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return EstimateResponse{Request: req, Result: art.Cells[0]}, nil
+	})
+}
+
+// WindowDistRequest asks for the exact window-growth distribution
+// Pr[B_γ], γ ∈ [0, max_gamma] (Theorem 4.1 at finite m). Omitted fields
+// take the paper's defaults (m=16, max_gamma=8, p=s=1/2).
+type WindowDistRequest struct {
+	Model     string  `json:"model"`
+	PrefixLen int     `json:"prefix_len"`
+	MaxGamma  int     `json:"max_gamma"`
+	StoreProb float64 `json:"store_prob"`
+	SwapProb  float64 `json:"swap_prob"`
+}
+
+// defaultWindowDistRequest is the decode base with the paper's defaults.
+func defaultWindowDistRequest() WindowDistRequest {
+	return WindowDistRequest{PrefixLen: 16, MaxGamma: 8, StoreProb: 0.5, SwapProb: 0.5}
+}
+
+// WindowDistResponse echoes the normalized request and carries the
+// windowdist cell, its Dist field tabulating Pr[B_γ].
+type WindowDistResponse struct {
+	Request WindowDistRequest `json:"request"`
+	Result  sweep.CellResult  `json:"result"`
+}
+
+// handleWindowDist serves POST /v1/windowdist through the cached
+// pipeline.
+func (s *Server) handleWindowDist(w http.ResponseWriter, r *http.Request) {
+	req := defaultWindowDistRequest()
+	if err := decodeStrict(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Model = canonicalModelName(req.Model)
+	spec := sweep.DefaultSpec()
+	spec.Models = []string{req.Model}
+	spec.PrefixLens = []int{req.PrefixLen}
+	spec.Estimators = []sweep.Kind{sweep.WindowDist}
+	spec.StoreProb = req.StoreProb
+	spec.SwapProb = req.SwapProb
+	spec.MaxGamma = req.MaxGamma
+	spec.Workers = 1 // see EstimateRequest.spec: the semaphore is the bound
+	if err := spec.Normalized().Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key, err := canonicalKey("windowdist", req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.cached(w, key, func(ctx context.Context) (any, error) {
+		art, err := sweep.Run(ctx, spec, sweep.Options{})
+		if err != nil {
+			return nil, err
+		}
+		return WindowDistResponse{Request: req, Result: art.Cells[0]}, nil
+	})
+}
+
+// handleLitmus serves GET /v1/litmus: the full conformance matrix in the
+// encoding shared with cmd/litmusrun -json. The matrix is static, so it
+// is cached like any other deterministic result.
+func (s *Server) handleLitmus(w http.ResponseWriter, r *http.Request) {
+	s.cached(w, "litmus", func(ctx context.Context) (any, error) {
+		results, err := litmus.CheckAll()
+		if err != nil {
+			return nil, err
+		}
+		return results, nil
+	})
+}
+
+// handleSweepSubmit serves POST /v1/sweeps: decode a sweep spec over the
+// paper-defaults base and enqueue it as an async job. A resubmitted
+// identical spec returns the existing job (200, not 202).
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	spec := sweep.DefaultSpec()
+	if err := decodeStrict(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	status, created, err := s.jobs.Submit(s.baseCtx, spec)
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+		s.metrics.jobsAccepted.Add(1)
+	}
+	w.Header().Set("Location", "/v1/sweeps/"+status.ID)
+	writeJSON(w, code, status)
+}
+
+// handleSweepList serves GET /v1/sweeps.
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{s.jobs.List()})
+}
+
+// handleSweepStatus serves GET /v1/sweeps/{id}.
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	status, err := s.jobs.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, status)
+}
+
+// handleSweepArtifact serves GET /v1/sweeps/{id}/artifact: the finished
+// job's versioned artifact, byte-identical to what cmd/memsweep -o would
+// have written for the same spec. A job that is not done yet answers 409
+// with its status.
+func (s *Server) handleSweepArtifact(w http.ResponseWriter, r *http.Request) {
+	body, status, err := s.jobs.Artifact(r.PathValue("id"))
+	if err != nil {
+		writeError(w, errorStatus(err), err)
+		return
+	}
+	if status.State != StateDone {
+		writeJSON(w, http.StatusConflict, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// canonicalModelName rewrites a model name to its canonical casing
+// ("tso" → "TSO") so case-variant identical requests share one cache
+// entry and one in-flight computation. Unresolvable names pass through
+// for validation to reject.
+func canonicalModelName(name string) string {
+	if m, err := memmodel.ByName(name); err == nil {
+		return m.Name()
+	}
+	return name
+}
+
+// canonicalKey derives the cache key of a fully-defaulted request: the
+// endpoint name plus the request's deterministic JSON encoding (struct
+// field order is fixed, so identical requests always collide — which is
+// the point).
+func canonicalKey(endpoint string, req any) (string, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("serve: canonical key: %w", err)
+	}
+	return endpoint + ":" + string(data), nil
+}

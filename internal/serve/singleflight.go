@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// errFlightPanic is what followers observe when the leader's fn panicked
+// instead of returning: the panic itself propagates on the leader's
+// goroutine (net/http recovers it), so followers need a distinct error.
+var errFlightPanic = errors.New("serve: in-flight computation panicked")
+
+// flightGroup deduplicates concurrent work by key: while one caller (the
+// leader) computes the value for a key, every other caller arriving with
+// the same key blocks and shares the leader's result instead of
+// recomputing it. The standard library has no singleflight and the module
+// vendors no dependencies, so this is a minimal local implementation.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// flightCall is one in-flight computation.
+type flightCall struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// newFlightGroup returns an empty group.
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do executes fn once per key among concurrent callers. The leader runs
+// fn; followers block until it finishes and receive the same value and
+// error, with shared=true. Results are not retained after the call
+// completes — lasting memoization is the cache's job, not the group's.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (val []byte, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// Unregister and release followers even if fn panics (the HTTP layer
+	// recovers handler panics, so a wedged key would otherwise outlive
+	// the request that caused it).
+	finished := false
+	defer func() {
+		if !finished {
+			c.err = errFlightPanic
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	finished = true
+	return c.val, c.err, false
+}

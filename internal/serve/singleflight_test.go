@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupDedups(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 10
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int64{}
+	do := func() {
+		defer wg.Done()
+		val, err, shared := g.Do("k", func() ([]byte, error) {
+			calls.Add(1)
+			close(started)
+			<-gate
+			return []byte("v"), nil
+		})
+		if err != nil || string(val) != "v" {
+			t.Errorf("Do = %q, %v", val, err)
+		}
+		if shared {
+			sharedCount.Add(1)
+		}
+	}
+
+	// The leader registers the key and blocks on the gate; only then are
+	// the followers spawned, so each one finds the in-flight call.
+	wg.Add(1)
+	go do()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go do()
+	}
+	time.Sleep(10 * time.Millisecond) // let the followers reach Do
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	if sharedCount.Load() != n-1 {
+		t.Errorf("shared = %d, want %d", sharedCount.Load(), n-1)
+	}
+}
+
+func TestFlightGroupErrorNotRetained(t *testing.T) {
+	g := newFlightGroup()
+	wantErr := errors.New("boom")
+	_, err, _ := g.Do("k", func() ([]byte, error) { return nil, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// A failed call must not poison later ones.
+	val, err, _ := g.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || string(val) != "ok" {
+		t.Fatalf("retry = %q, %v", val, err)
+	}
+}
+
+func TestFlightGroupLeaderPanicDoesNotWedgeKey(t *testing.T) {
+	g := newFlightGroup()
+
+	func() {
+		defer func() { recover() }()
+		g.Do("k", func() ([]byte, error) { panic("boom") })
+	}()
+
+	// The key must be free again: a follower from before the panic would
+	// have gotten errFlightPanic, and a new call must run normally.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		val, err, _ := g.Do("k", func() ([]byte, error) { return []byte("ok"), nil })
+		if err != nil || string(val) != "ok" {
+			t.Errorf("post-panic Do = %q, %v", val, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key wedged after leader panic")
+	}
+}
+
+func TestFlightGroupDistinctKeys(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			g.Do(key, func() ([]byte, error) {
+				calls.Add(1)
+				return []byte(key), nil
+			})
+		}(key)
+	}
+	wg.Wait()
+	if calls.Load() != 2 {
+		t.Errorf("fn ran %d times, want 2 (distinct keys must not share)", calls.Load())
+	}
+}

@@ -138,11 +138,23 @@ func DefaultSpec() Spec {
 }
 
 // Normalized returns a copy of the spec with every empty grid field
-// replaced by its documented default. Scalar fields are never touched:
-// zero probabilities are legitimate experiments, so their defaults live
-// in DefaultSpec, not here.
+// replaced by its documented default, and model names rewritten to their
+// canonical casing ("tso" → "TSO") so that specs differing only in case
+// produce identical artifacts — and identical content addresses wherever
+// specs are hashed. Unresolvable names are left as-is for Validate to
+// reject. Scalar fields are never touched: zero probabilities are
+// legitimate experiments, so their defaults live in DefaultSpec, not
+// here.
 func (s Spec) Normalized() Spec {
 	out := s
+	if len(out.Models) != 0 {
+		out.Models = append([]string(nil), s.Models...)
+		for i, name := range out.Models {
+			if m, err := memmodel.ByName(name); err == nil {
+				out.Models[i] = m.Name()
+			}
+		}
+	}
 	if len(out.Threads) == 0 {
 		out.Threads = []int{2}
 	}

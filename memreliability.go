@@ -25,6 +25,7 @@ package memreliability
 
 import (
 	"context"
+	"io"
 
 	"memreliability/internal/analytic"
 	"memreliability/internal/core"
@@ -32,6 +33,7 @@ import (
 	"memreliability/internal/machine"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
+	"memreliability/internal/serve"
 	"memreliability/internal/settle"
 	"memreliability/internal/sweep"
 )
@@ -69,6 +71,15 @@ const (
 
 // SweepArtifact is the versioned, reproducible result of a sweep run.
 type SweepArtifact = sweep.Artifact
+
+// SweepArtifactVersion is the schema version stamped on every sweep
+// artifact, including those served by the /v1/sweeps API.
+const SweepArtifactVersion = sweep.ArtifactVersion
+
+// SweepExactPrefixCap is the largest prefix length the exact dynamic
+// programs accept; exact and window-distribution computations clamp m to
+// it everywhere (sweep cells, the serve API, and WindowDistribution).
+const SweepExactPrefixCap = sweep.ExactPrefixCap
 
 // SweepCellResult is one completed sweep grid cell.
 type SweepCellResult = sweep.CellResult
@@ -108,7 +119,15 @@ func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
 // growth Pr[B_γ], γ ∈ [0, maxGamma], for a random program of the given
 // prefix length settled under the model with the paper's normal-form
 // parameters p = s = 1/2 (Theorem 4.1's quantity, at finite m).
+//
+// Prefix lengths above SweepExactPrefixCap are clamped to it, exactly as
+// the sweep engine clamps its windowdist cells: the exact DP's state
+// space is 2^m, so larger prefixes are intractable, and the finite-m
+// truncation error already decays geometrically well below the cap.
 func WindowDistribution(model Model, prefixLen, maxGamma int) ([]float64, error) {
+	if prefixLen > sweep.ExactPrefixCap {
+		prefixLen = sweep.ExactPrefixCap
+	}
 	pmf, err := settle.ExactWindowDist(model, prefixLen, 0.5, 0.5, maxGamma)
 	if err != nil {
 		return nil, err
@@ -174,6 +193,14 @@ func RunSweep(ctx context.Context, spec SweepSpec, opts SweepOptions) (*SweepArt
 	return sweep.Run(ctx, spec, opts)
 }
 
+// DecodeSweepArtifact reads a JSON sweep artifact — a `memsweep -o` file
+// or a `/v1/sweeps/{id}/artifact` response body — rejecting artifacts
+// whose schema version is not SweepArtifactVersion, per the artifact
+// contract.
+func DecodeSweepArtifact(r io.Reader) (*SweepArtifact, error) {
+	return sweep.DecodeArtifact(r)
+}
+
 // LitmusTests returns the built-in litmus registry (SB, MP, LB, 2+2W,
 // CoRR, IRIW, INC).
 func LitmusTests() []LitmusTest { return litmus.Registry() }
@@ -181,3 +208,25 @@ func LitmusTests() []LitmusTest { return litmus.Registry() }
 // LitmusCheckAll exhaustively checks every registered litmus test under
 // every canonical model against its expected allowed/forbidden status.
 func LitmusCheckAll() ([]LitmusResult, error) { return litmus.CheckAll() }
+
+// Server is the HTTP estimation service: a JSON API over the estimators
+// and the sweep engine with an LRU result cache, singleflight
+// deduplication, and async sweep jobs on a bounded worker pool. It
+// implements http.Handler; cmd/memserved is the ready-made daemon.
+type Server = serve.Server
+
+// ServeConfig configures a Server; its zero value gets sensible
+// defaults.
+type ServeConfig = serve.Config
+
+// EstimateRequest is the POST /v1/estimate request body.
+type EstimateRequest = serve.EstimateRequest
+
+// EstimateResponse is the POST /v1/estimate response body.
+type EstimateResponse = serve.EstimateResponse
+
+// NewServer returns a started estimation service. Responses for
+// identical (request, seed) are byte-identical — the service inherits
+// the sweep engine's reproducibility guarantee. Call Close to release
+// its workers.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }

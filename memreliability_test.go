@@ -1,8 +1,12 @@
 package memreliability
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 )
 
@@ -32,6 +36,57 @@ func TestFacadeWindowDistribution(t *testing.T) {
 	}
 	if math.Abs(dist[0]-2.0/3.0) > 1e-3 {
 		t.Errorf("WO Pr[B_0] = %v", dist[0])
+	}
+}
+
+func TestFacadeWindowDistributionClampsOversizedPrefix(t *testing.T) {
+	// m=64 is far beyond the 2^m exact-DP state space; the facade must
+	// clamp it to the engine's cap instead of passing it through.
+	big, err := WindowDistribution(TSO(), 64, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := WindowDistribution(TSO(), SweepExactPrefixCap, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gamma := range capped {
+		if big[gamma] != capped[gamma] {
+			t.Errorf("Pr[B_%d] = %v, want clamped value %v", gamma, big[gamma], capped[gamma])
+		}
+	}
+}
+
+func TestFacadeServer(t *testing.T) {
+	srv, err := NewServer(ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	body, err := json.Marshal(EstimateRequest{
+		Model: "SC", Threads: 2, PrefixLen: 12, Estimator: SweepExact,
+		Trials: 1, Seed: 1, StoreProb: 0.5, SwapProb: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out EstimateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Result.Estimate-1.0/6.0) > 1e-3 {
+		t.Errorf("SC exact estimate = %v", out.Result.Estimate)
 	}
 }
 

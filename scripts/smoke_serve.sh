@@ -1,0 +1,69 @@
+#!/bin/sh
+# Smoke-test the memserved daemon over real HTTP: liveness, one estimate,
+# byte-identical repeat with a cache hit, and a clean shutdown. Run by
+# both `make smoke-serve` and the CI smoke-serve job.
+set -eu
+
+ADDR="127.0.0.1:18377"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill "$PID" 2>/dev/null || true
+    [ -n "$PID" ] && wait "$PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORKDIR/memserved" ./cmd/memserved
+"$WORKDIR/memserved" -addr "$ADDR" &
+PID=$!
+
+# Wait for liveness.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke-serve: memserved never became healthy" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "smoke-serve: healthz ok"
+
+REQ='{"model":"TSO","threads":2,"estimator":"exact","seed":7}'
+curl -sf -D "$WORKDIR/h1" -o "$WORKDIR/b1" -H 'Content-Type: application/json' -d "$REQ" "$BASE/v1/estimate"
+curl -sf -D "$WORKDIR/h2" -o "$WORKDIR/b2" -H 'Content-Type: application/json' -d "$REQ" "$BASE/v1/estimate"
+
+# Identical requests must return byte-identical bodies...
+if ! cmp -s "$WORKDIR/b1" "$WORKDIR/b2"; then
+    echo "smoke-serve: estimate bodies differ" >&2
+    diff "$WORKDIR/b1" "$WORKDIR/b2" >&2 || true
+    exit 1
+fi
+echo "smoke-serve: repeated estimate is byte-identical"
+
+# ...with the second served from the cache.
+if ! grep -qi '^x-cache: hit' "$WORKDIR/h2"; then
+    echo "smoke-serve: second request was not a cache hit" >&2
+    cat "$WORKDIR/h2" >&2
+    exit 1
+fi
+if ! curl -sf "$BASE/metrics" | grep -q '"cache_hits": *[1-9]'; then
+    echo "smoke-serve: metrics report no cache hits" >&2
+    curl -sf "$BASE/metrics" >&2 || true
+    exit 1
+fi
+echo "smoke-serve: second request hit the cache"
+
+# SIGTERM must shut the daemon down cleanly.
+kill "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+PID=""
+if [ "$STATUS" -ne 0 ]; then
+    echo "smoke-serve: memserved exited with status $STATUS" >&2
+    exit 1
+fi
+echo "smoke-serve: clean shutdown"
