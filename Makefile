@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint smoke-serve ci
+.PHONY: all build test bench lint smoke-serve vuln ci
 
 all: ci
 
@@ -27,4 +27,13 @@ lint:
 	$(GO) vet ./...
 	$(GO) vet ./examples/...
 
-ci: lint build test bench smoke-serve
+# vuln scans the module with govulncheck when the tool is available
+# (CI installs it; offline dev machines skip with a notice).
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+ci: lint build test bench smoke-serve vuln

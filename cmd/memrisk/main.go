@@ -1,7 +1,9 @@
 // memrisk computes the paper's bug-manifestation probabilities for a given
 // memory model and thread count, using all three estimation routes
-// (analytic/exact DP, full Monte Carlo, Theorem 6.1 hybrid). Both modes
-// are thin front-ends over the internal/sweep orchestration engine.
+// (analytic/exact DP, full Monte Carlo, Theorem 6.1 hybrid). The single-
+// point mode builds one estimator.Query per applicable route from its
+// flags and dispatches the batch through the estimator registry; -sweep
+// runs the Theorem 6.3 scaling sweep through the orchestration engine.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"memreliability/internal/analytic"
+	"memreliability/internal/estimator"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
 	"memreliability/internal/report"
@@ -60,28 +63,39 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	// One grid point, every applicable estimator: the sweep engine runs
-	// the estimation routes and memrisk only annotates the paper's
+	// One query per applicable estimation route, dispatched as a batch
+	// through the estimator registry; memrisk only annotates the paper's
 	// Theorem 6.2 constants alongside.
-	var estimators []sweep.Kind
+	var kinds []estimator.Kind
 	if *threads == 2 {
-		estimators = append(estimators, sweep.Exact)
+		kinds = append(kinds, estimator.Exact)
 	}
 	if *threads <= fullMCMaxThreads {
-		estimators = append(estimators, sweep.FullMC)
+		kinds = append(kinds, estimator.FullMC)
 	}
-	estimators = append(estimators, sweep.Hybrid)
-	spec := sweep.Spec{
-		Models:     []string{model.Name()},
-		Threads:    []int{*threads},
-		PrefixLens: []int{*prefixLen},
-		Estimators: estimators,
-		Trials:     *trials,
-		Seed:       *seed,
-		StoreProb:  *storeProb,
-		SwapProb:   *swapProb,
+	kinds = append(kinds, estimator.Hybrid)
+
+	base := estimator.DefaultQuery()
+	base.Model = model.Name()
+	base.Threads = *threads
+	base.PrefixLen = *prefixLen
+	base.Trials = *trials
+	base.StoreProb = *storeProb
+	base.SwapProb = *swapProb
+
+	// Each route gets its own experiment seed derived from -seed, so the
+	// Monte Carlo routes draw independent substreams and their rows
+	// cross-check each other rather than sharing sampling error.
+	seeds := estimator.DeriveSeeds(*seed, len(kinds))
+	queries := make([]estimator.Query, len(kinds))
+	for i, kind := range kinds {
+		q := base
+		q.Kind = kind
+		q.Seed = seeds[i]
+		queries[i] = q
 	}
-	art, err := sweep.Run(ctx, spec, sweep.Options{})
+
+	results, err := estimator.EstimateBatch(ctx, queries, estimator.BatchOptions{})
 	if err != nil {
 		return err
 	}
@@ -93,14 +107,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	for _, c := range art.Cells {
-		if c.Skipped {
+	for _, res := range results {
+		if res.Skipped {
 			continue
 		}
-		if err := tbl.AddRowValues(c.Estimator.DisplayName(), c.Estimate, c.Notes()); err != nil {
+		if err := tbl.AddRowValues(res.Kind.DisplayName(), res.Estimate, res.Notes()); err != nil {
 			return err
 		}
-		if c.Estimator == sweep.Exact {
+		if res.Kind == estimator.Exact {
 			if err := addPaperRow(tbl, model.Name()); err != nil {
 				return err
 			}

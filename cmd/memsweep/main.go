@@ -1,6 +1,8 @@
 // memsweep runs a declarative experiment sweep: a grid of memory models ×
 // thread counts × prefix lengths × estimator kinds, sharded across a
-// worker pool, with a reproducible JSON artifact. The artifact depends
+// worker pool, with a reproducible JSON artifact. Each grid cell becomes
+// one estimator.Query dispatched through the estimator registry, so
+// -estimators accepts exactly the registered kinds. The artifact depends
 // only on the spec — identical (spec, seed) give identical bytes at any
 // -workers value.
 //

@@ -1,0 +1,72 @@
+// Query API tour: one canonical request/result surface for every
+// estimation route. A Query names the full experiment tuple (model,
+// threads, prefix, p, s, trials, seed, confidence, kind); Estimate
+// dispatches it through the estimator registry, and EstimateBatch runs
+// many queries on a bounded worker pool with per-query deterministic
+// seeds — the same path the sweep engine, the HTTP service, and the CLI
+// tools use underneath.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"memreliability"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "query: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// One query, the paper's normal form with an explicit 95% interval.
+	q := memreliability.DefaultQuery()
+	q.Kind = memreliability.SweepFullMC
+	q.Model = "TSO"
+	q.Trials = 50000
+	q.Confidence = 0.95
+	res, err := memreliability.Estimate(ctx, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("single query: %s %s → Pr[A] = %.6f (%.0f%% CI [%.6f, %.6f], %d trials)\n\n",
+		q.Model, q.Kind.DisplayName(), res.Estimate, res.Confidence*100, res.Lo, res.Hi, res.TrialsUsed)
+
+	// A batch: every registered estimation route for every model, each
+	// result identical to a lone Estimate of the same query.
+	var queries []memreliability.Query
+	for _, model := range memreliability.AllModels() {
+		for _, kind := range []memreliability.Kind{
+			memreliability.SweepExact, memreliability.SweepHybrid,
+		} {
+			bq := memreliability.DefaultQuery()
+			bq.Kind = kind
+			bq.Model = model.Name()
+			bq.PrefixLen = 16
+			bq.Trials = 20000
+			queries = append(queries, bq)
+		}
+	}
+	fmt.Printf("batch of %d queries across %v:\n", len(queries), memreliability.EstimatorKinds())
+	results, err := memreliability.EstimateBatch(ctx, queries, memreliability.BatchOptions{
+		Progress: func(i int, r memreliability.QueryResult) {
+			fmt.Printf("  done %-4s %-18s Pr[A] = %.6f\n",
+				queries[i].Model, queries[i].Kind.DisplayName(), r.Estimate)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\nexact vs hybrid per model (notes from the shared renderer):")
+	for i, r := range results {
+		fmt.Printf("  %-4s %-18s %s\n", queries[i].Model, r.Kind.DisplayName(), r.Notes())
+	}
+	return nil
+}

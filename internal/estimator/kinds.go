@@ -1,0 +1,166 @@
+package estimator
+
+import (
+	"context"
+	"fmt"
+
+	"memreliability/internal/core"
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/settle"
+)
+
+// The four built-in routes register at init, so every surface that can
+// name a Kind can dispatch it.
+func init() {
+	Register(exactEstimator{})
+	Register(fullMCEstimator{})
+	Register(hybridEstimator{})
+	Register(windowDistEstimator{})
+}
+
+// coreConfig translates the query into the joined-model configuration.
+func coreConfig(q Query) (core.Config, error) {
+	model, err := memmodel.ByName(q.Model)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("estimator: %w", err)
+	}
+	return core.Config{
+		Model:     model,
+		Threads:   q.Threads,
+		PrefixLen: q.PrefixLen,
+		StoreProb: q.StoreProb,
+		SwapProb:  q.SwapProb,
+	}, nil
+}
+
+// mcConfig translates the query and execution budget into the Monte
+// Carlo harness configuration on the derived substream seed.
+func mcConfig(q Query, seed uint64, ex Exec) mc.Config {
+	return mc.Config{Trials: q.Trials, Workers: ex.Workers, Seed: seed}
+}
+
+// exactEstimator is the n=2 exact dynamic program (Theorem 6.2).
+type exactEstimator struct{}
+
+func (exactEstimator) Kind() Kind          { return Exact }
+func (exactEstimator) DisplayName() string { return "exact DP (n=2)" }
+func (exactEstimator) NeedsTrials() bool   { return false }
+
+func (exactEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
+	res := Result{Kind: Exact, EffectiveM: q.PrefixLen}
+	if q.Threads != 2 {
+		res.Skipped = true
+		res.Note = "exact DP requires n = 2"
+		return res, nil
+	}
+	cfg, err := coreConfig(q)
+	if err != nil {
+		return res, err
+	}
+	if cfg.PrefixLen > ExactPrefixCap {
+		cfg.PrefixLen = ExactPrefixCap
+		res.EffectiveM = ExactPrefixCap
+		res.Note = fmt.Sprintf("m clamped to %d for exact DP", ExactPrefixCap)
+	}
+	iv, err := core.ExactTwoThreadPrA(cfg)
+	if err != nil {
+		return res, fmt.Errorf("estimator: %w", err)
+	}
+	res.Estimate = iv.Midpoint()
+	res.Lo, res.Hi = iv.Lo, iv.Hi
+	res.LogEstimate = safeLog(res.Estimate)
+	return res, nil
+}
+
+// fullMCEstimator is full end-to-end Monte Carlo of the joined process.
+type fullMCEstimator struct{}
+
+func (fullMCEstimator) Kind() Kind          { return FullMC }
+func (fullMCEstimator) DisplayName() string { return "full Monte Carlo" }
+func (fullMCEstimator) NeedsTrials() bool   { return true }
+
+func (fullMCEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
+	res := Result{Kind: FullMC, EffectiveM: q.PrefixLen}
+	cfg, err := coreConfig(q)
+	if err != nil {
+		return res, err
+	}
+	out, err := core.EstimateNoBugProb(ctx, cfg, mcConfig(q, seed, ex))
+	if err != nil {
+		return res, fmt.Errorf("estimator: %w", err)
+	}
+	level := q.confidence()
+	lo, hi, err := out.WilsonCI(level)
+	if err != nil {
+		return res, fmt.Errorf("estimator: %w", err)
+	}
+	res.Estimate = out.Estimate()
+	res.Lo, res.Hi = lo, hi
+	res.Confidence = level
+	res.LogEstimate = safeLog(res.Estimate)
+	res.TrialsUsed = q.Trials
+	return res, nil
+}
+
+// hybridEstimator is the Theorem 6.1 hybrid route.
+type hybridEstimator struct{}
+
+func (hybridEstimator) Kind() Kind          { return Hybrid }
+func (hybridEstimator) DisplayName() string { return "hybrid (Thm 6.1)" }
+func (hybridEstimator) NeedsTrials() bool   { return true }
+
+func (hybridEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
+	res := Result{Kind: Hybrid, EffectiveM: q.PrefixLen}
+	cfg, err := coreConfig(q)
+	if err != nil {
+		return res, err
+	}
+	out, err := core.HybridPrA(ctx, cfg, mcConfig(q, seed, ex))
+	if err != nil {
+		return res, fmt.Errorf("estimator: %w", err)
+	}
+	res.Estimate = out.PrA
+	res.LogEstimate = out.LogPrA
+	res.StdErr = out.StdErr
+	res.ProductExpectation = out.ProductExpectation
+	res.TrialsUsed = q.Trials
+	return res, nil
+}
+
+// windowDistEstimator tabulates the exact Pr[B_γ] distribution.
+type windowDistEstimator struct{}
+
+func (windowDistEstimator) Kind() Kind          { return WindowDist }
+func (windowDistEstimator) DisplayName() string { return "window distribution" }
+func (windowDistEstimator) NeedsTrials() bool   { return false }
+
+func (windowDistEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
+	res := Result{Kind: WindowDist, EffectiveM: q.PrefixLen}
+	model, err := memmodel.ByName(q.Model)
+	if err != nil {
+		return res, fmt.Errorf("estimator: %w", err)
+	}
+	m := q.PrefixLen
+	if m > ExactPrefixCap {
+		m = ExactPrefixCap
+		res.EffectiveM = m
+		res.Note = fmt.Sprintf("m clamped to %d for exact DP", ExactPrefixCap)
+	}
+	maxGamma := q.MaxGamma
+	if maxGamma > m {
+		maxGamma = m
+	}
+	pmf, err := settle.ExactWindowDist(model, m, q.StoreProb, q.SwapProb, maxGamma)
+	if err != nil {
+		return res, fmt.Errorf("estimator: %w", err)
+	}
+	res.Dist = make([]float64, maxGamma+1)
+	mean := 0.0
+	for gamma := range res.Dist {
+		res.Dist[gamma] = pmf.At(gamma)
+		mean += float64(gamma) * pmf.At(gamma)
+	}
+	res.Estimate = mean
+	return res, nil
+}

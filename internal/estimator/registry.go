@@ -1,0 +1,133 @@
+package estimator
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"memreliability/internal/rng"
+)
+
+// Estimator is one estimation route. Implementations receive a
+// normalized, validated Query plus the RNG substream seed already
+// derived from it, and must be deterministic in (Query, seed) — Exec is
+// pure scheduling.
+type Estimator interface {
+	// Kind is the registry key.
+	Kind() Kind
+	// DisplayName is the human-readable label used in tables.
+	DisplayName() string
+	// NeedsTrials reports whether the route consumes Monte Carlo
+	// trials (drives the canonical Trials validation).
+	NeedsTrials() bool
+	// Estimate evaluates the query on the given substream seed.
+	Estimate(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[Kind]Estimator)
+)
+
+// Register adds an estimator to the registry, making its kind reachable
+// from every surface (facade, sweep, serve, CLIs). It panics on a
+// duplicate kind: two backends silently shadowing each other would break
+// the "one kind, one meaning" contract.
+func Register(e Estimator) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	k := e.Kind()
+	if _, dup := registry[k]; dup {
+		panic(fmt.Sprintf("estimator: duplicate registration of kind %q", k))
+	}
+	registry[k] = e
+}
+
+// Lookup resolves a kind in the registry.
+func Lookup(k Kind) (Estimator, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[k]
+	return e, ok
+}
+
+// Kinds lists every registered kind in canonical order: the paper's
+// built-ins first (exact, mc, hybrid, windowdist), then any extra
+// registrations sorted by name.
+func Kinds() []Kind {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	builtin := []Kind{Exact, FullMC, Hybrid, WindowDist}
+	out := make([]Kind, 0, len(registry))
+	seen := make(map[Kind]bool, len(registry))
+	for _, k := range builtin {
+		if _, ok := registry[k]; ok {
+			out = append(out, k)
+			seen[k] = true
+		}
+	}
+	var extra []Kind
+	for k := range registry {
+		if !seen[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(out, extra...)
+}
+
+// DeriveSeeds expands one experiment seed into n deterministic RNG
+// substream seeds. This is the canonical derivation shared by Estimate
+// (n = 1) and the sweep engine (one seed per grid cell, in cell-index
+// order); it is part of the reproducibility contract — changing it
+// changes every Monte Carlo result.
+func DeriveSeeds(seed uint64, n int) []uint64 {
+	root := rng.New(seed)
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = root.Uint64()
+	}
+	return seeds
+}
+
+// Run dispatches a normalized, validated query with an explicitly
+// derived substream seed through the registry. Estimate and the sweep
+// engine both funnel through it; sweep derives per-cell seeds from its
+// spec seed to keep artifacts byte-identical across the grid.
+func Run(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
+	e, ok := Lookup(q.Kind)
+	if !ok {
+		return Result{Kind: q.Kind}, fmt.Errorf("%w: unknown estimator %q", ErrBadQuery, q.Kind)
+	}
+	start := time.Now()
+	res, err := e.Estimate(ctx, q, seed, ex)
+	if err != nil {
+		return res, err
+	}
+	res.Kind = q.Kind
+	if ex.Timing {
+		res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	}
+	return res, nil
+}
+
+// EstimateExec evaluates one query: normalize, validate, derive the
+// substream seed from the query's Seed (exactly as a single-cell sweep
+// would), and dispatch through the registry with the given execution
+// budget.
+func EstimateExec(ctx context.Context, q Query, ex Exec) (Result, error) {
+	norm := q.Normalized()
+	if err := norm.Validate(); err != nil {
+		return Result{Kind: norm.Kind}, err
+	}
+	return Run(ctx, norm, DeriveSeeds(norm.Seed, 1)[0], ex)
+}
+
+// Estimate evaluates one query with the default execution budget
+// (GOMAXPROCS Monte Carlo workers, no timing). The result depends only
+// on the query.
+func Estimate(ctx context.Context, q Query) (Result, error) {
+	return EstimateExec(ctx, q, Exec{})
+}

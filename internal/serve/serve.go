@@ -40,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"memreliability/internal/estimator"
 	"memreliability/internal/litmus"
 	"memreliability/internal/memmodel"
 	"memreliability/internal/sweep"
@@ -236,7 +237,8 @@ func errorStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
-	case errors.Is(err, ErrBadRequest), errors.Is(err, sweep.ErrBadSpec):
+	case errors.Is(err, ErrBadRequest), errors.Is(err, sweep.ErrBadSpec),
+		errors.Is(err, estimator.ErrBadQuery):
 		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
@@ -356,7 +358,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // EstimateRequest asks for one Pr[A] estimate. Omitted fields take the
 // paper's defaults (n=2, m=64, hybrid, 50000 trials, p=s=1/2, seed 1);
 // explicit zeros stick, mirroring the sweep spec's decode-over-defaults
-// convention.
+// convention. It is the wire form of an estimator.Query: the handler
+// decodes it, converts it with query, and dispatches through the
+// estimator registry.
 type EstimateRequest struct {
 	// Model is a memory model name resolvable by ModelByName.
 	Model string `json:"model"`
@@ -375,18 +379,39 @@ type EstimateRequest struct {
 	// StoreProb is p and SwapProb is s.
 	StoreProb float64 `json:"store_prob"`
 	SwapProb  float64 `json:"swap_prob"`
+	// Confidence is the Wilson-interval level of mc results; omitted
+	// (or zero) selects the default 0.99. Other estimators ignore it.
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
-// defaultEstimateRequest is the decode base with the paper's defaults.
+// defaultEstimateRequest is the decode base with the paper's defaults
+// (estimator.DefaultQuery's normal form). Confidence stays zero so the
+// request echo is unchanged for callers that never set it.
 func defaultEstimateRequest() EstimateRequest {
+	q := estimator.DefaultQuery()
 	return EstimateRequest{
-		Threads:   2,
-		PrefixLen: 64,
-		Estimator: sweep.Hybrid,
-		Trials:    50000,
-		Seed:      1,
-		StoreProb: 0.5,
-		SwapProb:  0.5,
+		Threads:   q.Threads,
+		PrefixLen: q.PrefixLen,
+		Estimator: q.Kind,
+		Trials:    q.Trials,
+		Seed:      q.Seed,
+		StoreProb: q.StoreProb,
+		SwapProb:  q.SwapProb,
+	}
+}
+
+// query converts the request into its canonical estimator query.
+func (req EstimateRequest) query() estimator.Query {
+	return estimator.Query{
+		Kind:       req.Estimator,
+		Model:      req.Model,
+		Threads:    req.Threads,
+		PrefixLen:  req.PrefixLen,
+		StoreProb:  req.StoreProb,
+		SwapProb:   req.SwapProb,
+		Trials:     req.Trials,
+		Seed:       req.Seed,
+		Confidence: req.Confidence,
 	}
 }
 
@@ -397,28 +422,22 @@ type EstimateResponse struct {
 	Result  sweep.CellResult `json:"result"`
 }
 
-// spec converts the request into its equivalent single-cell sweep spec,
-// so the endpoint inherits the engine's validation, clamping, and
-// reproducibility instead of reimplementing them. Workers is pure
-// scheduling (results never depend on it); the handlers pass 1 so that
-// the semaphore, not per-request fan-out, is the endpoint's parallelism
-// bound — EstimateWorkers concurrent single-streamed computations, not
-// EstimateWorkers² goroutines.
-func (req EstimateRequest) spec(workers int) sweep.Spec {
-	spec := sweep.DefaultSpec()
-	spec.Models = []string{req.Model}
-	spec.Threads = []int{req.Threads}
-	spec.PrefixLens = []int{req.PrefixLen}
-	spec.Estimators = []sweep.Kind{req.Estimator}
-	spec.Trials = req.Trials
-	spec.Seed = req.Seed
-	spec.StoreProb = req.StoreProb
-	spec.SwapProb = req.SwapProb
-	spec.Workers = workers
-	return spec
+// cellResult shapes an estimator result as the single-cell artifact cell
+// the API has always served, with the request's grid coordinates. The
+// conversion itself is the engine's shared CellResultOf.
+func cellResult(res estimator.Result, model string, threads, prefixLen int) sweep.CellResult {
+	return sweep.CellResultOf(sweep.Cell{
+		Index:     0,
+		Model:     model,
+		Threads:   threads,
+		PrefixLen: prefixLen,
+		Estimator: res.Kind,
+	}, res)
 }
 
-// handleEstimate serves POST /v1/estimate through the cached pipeline.
+// handleEstimate serves POST /v1/estimate through the cached pipeline:
+// decode over the defaults base, canonicalize, validate once via the
+// estimator's canonical rules, and dispatch through the registry.
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	req := defaultEstimateRequest()
 	if err := decodeStrict(r, &req); err != nil {
@@ -439,22 +458,29 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("%w: exact estimator requires threads=2, got %d", ErrBadRequest, req.Threads))
 		return
 	}
-	spec := req.spec(1)
-	if err := spec.Normalized().Validate(); err != nil {
+	query := req.query()
+	if err := query.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key, err := canonicalKey("estimate", req)
+	key, err := queryKey("estimate", query)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.cached(w, key, func(ctx context.Context) (any, error) {
-		art, err := sweep.Run(ctx, spec, sweep.Options{})
+		// Workers: 1 keeps the semaphore, not per-request fan-out, as
+		// the endpoint's parallelism bound — EstimateWorkers concurrent
+		// single-streamed computations, not EstimateWorkers² goroutines.
+		// Results never depend on it.
+		res, err := estimator.EstimateExec(ctx, query, estimator.Exec{Workers: 1})
 		if err != nil {
 			return nil, err
 		}
-		return EstimateResponse{Request: req, Result: art.Cells[0]}, nil
+		return EstimateResponse{
+			Request: req,
+			Result:  cellResult(res, req.Model, req.Threads, req.PrefixLen),
+		}, nil
 	})
 }
 
@@ -481,8 +507,23 @@ type WindowDistResponse struct {
 	Result  sweep.CellResult  `json:"result"`
 }
 
+// query converts the request into its canonical estimator query. The
+// window distribution is thread-count independent, so Threads stays 0 —
+// matching the windowdist cells a sweep grid emits.
+func (req WindowDistRequest) query() estimator.Query {
+	return estimator.Query{
+		Kind:      sweep.WindowDist,
+		Model:     req.Model,
+		PrefixLen: req.PrefixLen,
+		StoreProb: req.StoreProb,
+		SwapProb:  req.SwapProb,
+		MaxGamma:  req.MaxGamma,
+	}
+}
+
 // handleWindowDist serves POST /v1/windowdist through the cached
-// pipeline.
+// pipeline, dispatching through the estimator registry like every other
+// surface.
 func (s *Server) handleWindowDist(w http.ResponseWriter, r *http.Request) {
 	req := defaultWindowDistRequest()
 	if err := decodeStrict(r, &req); err != nil {
@@ -490,29 +531,25 @@ func (s *Server) handleWindowDist(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Model = canonicalModelName(req.Model)
-	spec := sweep.DefaultSpec()
-	spec.Models = []string{req.Model}
-	spec.PrefixLens = []int{req.PrefixLen}
-	spec.Estimators = []sweep.Kind{sweep.WindowDist}
-	spec.StoreProb = req.StoreProb
-	spec.SwapProb = req.SwapProb
-	spec.MaxGamma = req.MaxGamma
-	spec.Workers = 1 // see EstimateRequest.spec: the semaphore is the bound
-	if err := spec.Normalized().Validate(); err != nil {
+	query := req.query()
+	if err := query.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key, err := canonicalKey("windowdist", req)
+	key, err := queryKey("windowdist", query)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.cached(w, key, func(ctx context.Context) (any, error) {
-		art, err := sweep.Run(ctx, spec, sweep.Options{})
+		res, err := estimator.EstimateExec(ctx, query, estimator.Exec{Workers: 1})
 		if err != nil {
 			return nil, err
 		}
-		return WindowDistResponse{Request: req, Result: art.Cells[0]}, nil
+		return WindowDistResponse{
+			Request: req,
+			Result:  cellResult(res, req.Model, 0, req.PrefixLen),
+		}, nil
 	})
 }
 
@@ -598,12 +635,14 @@ func canonicalModelName(name string) string {
 	return name
 }
 
-// canonicalKey derives the cache key of a fully-defaulted request: the
-// endpoint name plus the request's deterministic JSON encoding (struct
-// field order is fixed, so identical requests always collide — which is
-// the point).
-func canonicalKey(endpoint string, req any) (string, error) {
-	data, err := json.Marshal(req)
+// queryKey derives the cache key of a fully-defaulted request from its
+// canonicalized estimator query: the endpoint name plus the query's
+// deterministic JSON encoding (struct field order is fixed, so identical
+// queries always collide — which is the point). The raw Confidence value
+// (0 vs an explicit level) is part of the key because it is part of the
+// request echo in the cached body.
+func queryKey(endpoint string, q estimator.Query) (string, error) {
+	data, err := json.Marshal(q.Normalized())
 	if err != nil {
 		return "", fmt.Errorf("serve: canonical key: %w", err)
 	}

@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 
+	"memreliability/internal/estimator"
 	"memreliability/internal/report"
 )
 
@@ -82,37 +82,31 @@ func cellEstimate(c CellResult) string {
 	return report.FormatProb(c.Estimate)
 }
 
+// EstimatorResult converts the cell back to the unified result form —
+// the inverse of CellResultOf, up to the diagnostics the artifact
+// schema does not persist. Confidence passes through as stored: 0 means
+// the default level, which is how Result's renderer reads it too.
+func (c CellResult) EstimatorResult() estimator.Result {
+	return estimator.Result{
+		Kind:        c.Estimator,
+		Skipped:     c.Skipped,
+		Note:        c.Note,
+		EffectiveM:  c.EffectiveM,
+		Estimate:    c.Estimate,
+		LogEstimate: c.LogEstimate,
+		Lo:          c.Lo,
+		Hi:          c.Hi,
+		Confidence:  c.Confidence,
+		StdErr:      c.StdErr,
+		Dist:        c.Dist,
+		ElapsedMS:   c.ElapsedMS,
+	}
+}
+
 // Notes summarizes the cell's secondary outputs (CI bracket, log
 // estimate, tabulated distribution, skip reason) as a display string.
-// Every renderer of cell rows — the artifact table, cmd/memrisk — shares
-// this so per-estimator annotations cannot drift apart.
+// It delegates to the shared estimator.Result renderer, so every
+// surface's per-estimator annotations stay in lockstep.
 func (c CellResult) Notes() string {
-	var notes []string
-	switch {
-	case c.Skipped:
-		notes = append(notes, "skipped: "+c.Note)
-	default:
-		switch c.Estimator {
-		case Exact:
-			notes = append(notes, report.FormatInterval(c.Lo, c.Hi))
-		case FullMC:
-			notes = append(notes, fmt.Sprintf("%.0f%% CI %s",
-				ciLevel*100, report.FormatInterval(c.Lo, c.Hi)))
-		case Hybrid:
-			notes = append(notes, "ln Pr[A] = "+report.FormatRatio(c.LogEstimate))
-		case WindowDist:
-			cells := make([]string, len(c.Dist))
-			for gamma, p := range c.Dist {
-				cells[gamma] = fmt.Sprintf("P(%d)=%s", gamma, report.FormatRatio(p))
-			}
-			notes = append(notes, "estimate = E[γ]; "+strings.Join(cells, " "))
-		}
-		if c.Note != "" {
-			notes = append(notes, c.Note)
-		}
-		if c.ElapsedMS > 0 {
-			notes = append(notes, fmt.Sprintf("%.1fms", c.ElapsedMS))
-		}
-	}
-	return strings.Join(notes, "; ")
+	return c.EstimatorResult().Notes()
 }

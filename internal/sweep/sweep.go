@@ -7,6 +7,12 @@
 // a worker pool, and collects the results into a versioned Artifact that
 // renders as tables/CSV via internal/report.
 //
+// Estimation itself lives in internal/estimator: every cell becomes one
+// estimator.Query dispatched through the kind registry, so the engine
+// adds orchestration (grid expansion, sharding, artifact collection) on
+// top of the one canonical validation/clamping/dispatch path shared with
+// the facade, the HTTP service, and the CLIs.
+//
 // Reproducibility is the engine's core guarantee: every cell derives one
 // deterministic RNG seed from (spec seed, cell index), and the mc harness
 // underneath is itself scheduling-independent (chunked substreams merged
@@ -19,77 +25,41 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
-	"time"
 
-	"memreliability/internal/core"
-	"memreliability/internal/mc"
+	"memreliability/internal/estimator"
 	"memreliability/internal/memmodel"
-	"memreliability/internal/rng"
-	"memreliability/internal/settle"
 )
 
 // ErrBadSpec reports an invalid sweep specification.
 var ErrBadSpec = errors.New("sweep: bad spec")
 
-// ExactPrefixCap bounds the prefix length fed to the exact dynamic
-// programs (the DP state space is 2^m type strings). Exact and
-// window-distribution cells clamp their prefix to this cap and record the
-// clamp in the cell's note.
-const ExactPrefixCap = 16
+// ExactPrefixCap re-exports the estimator registry's exact-DP prefix
+// bound: exact and window-distribution cells clamp their prefix to it
+// and record the clamp in the cell's note.
+const ExactPrefixCap = estimator.ExactPrefixCap
 
-// ciLevel is the confidence level of the Wilson intervals attached to
-// full-Monte-Carlo cells.
-const ciLevel = 0.99
-
-// Kind names an estimation route for Pr[A] (or, for WindowDist, for the
-// Theorem 4.1 window distribution Pr[B_γ]).
-type Kind string
+// Kind names an estimation route. It is the estimator registry's key
+// type: a sweep cell's kind and a direct estimator.Query kind are the
+// same value, so anything registered there is immediately sweepable.
+type Kind = estimator.Kind
 
 const (
 	// Exact is the n=2 exact dynamic program (Theorem 6.2's quantity).
-	Exact Kind = "exact"
+	Exact = estimator.Exact
 	// FullMC is full end-to-end Monte Carlo of the joined process.
-	FullMC Kind = "mc"
+	FullMC = estimator.FullMC
 	// Hybrid is the Theorem 6.1 hybrid estimator (analytic shift
 	// combinatorics × Monte Carlo product expectation).
-	Hybrid Kind = "hybrid"
+	Hybrid = estimator.Hybrid
 	// WindowDist tabulates the exact critical-window distribution
 	// Pr[B_γ] (Theorem 4.1 at finite m); it is thread-count independent.
-	WindowDist Kind = "windowdist"
+	WindowDist = estimator.WindowDist
 )
 
-// Kinds lists every estimator kind, in canonical order.
-func Kinds() []Kind { return []Kind{Exact, FullMC, Hybrid, WindowDist} }
-
-// Valid reports whether k names a known estimator kind.
-func (k Kind) Valid() bool {
-	switch k {
-	case Exact, FullMC, Hybrid, WindowDist:
-		return true
-	}
-	return false
-}
-
-// needsTrials reports whether the kind consumes Monte Carlo trials.
-func (k Kind) needsTrials() bool { return k == FullMC || k == Hybrid }
-
-// DisplayName returns the human-readable estimator label used in tables.
-func (k Kind) DisplayName() string {
-	switch k {
-	case Exact:
-		return "exact DP (n=2)"
-	case FullMC:
-		return "full Monte Carlo"
-	case Hybrid:
-		return "hybrid (Thm 6.1)"
-	case WindowDist:
-		return "window distribution"
-	}
-	return string(k)
-}
+// Kinds lists every registered estimator kind, in canonical order.
+func Kinds() []Kind { return estimator.Kinds() }
 
 // Spec declaratively describes one experiment sweep: the grid
 // models × threads × prefix lengths × estimators, plus the trial budget,
@@ -192,7 +162,7 @@ func (s Spec) Validate() error {
 		if !k.Valid() {
 			return fmt.Errorf("%w: unknown estimator %q", ErrBadSpec, k)
 		}
-		needTrials = needTrials || k.needsTrials()
+		needTrials = needTrials || k.NeedsTrials()
 	}
 	if needTrials && s.Trials < 1 {
 		return fmt.Errorf("%w: trials=%d (mc/hybrid cells need ≥ 1)", ErrBadSpec, s.Trials)
@@ -200,10 +170,10 @@ func (s Spec) Validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("%w: workers=%d", ErrBadSpec, s.Workers)
 	}
-	if s.StoreProb < 0 || s.StoreProb > 1 {
+	if !(s.StoreProb >= 0 && s.StoreProb <= 1) {
 		return fmt.Errorf("%w: store probability %v", ErrBadSpec, s.StoreProb)
 	}
-	if s.SwapProb < 0 || s.SwapProb > 1 {
+	if !(s.SwapProb >= 0 && s.SwapProb <= 1) {
 		return fmt.Errorf("%w: swap probability %v", ErrBadSpec, s.SwapProb)
 	}
 	if s.MaxGamma < 0 {
@@ -275,6 +245,11 @@ type CellResult struct {
 	LogEstimate float64 `json:"log_estimate"`
 	Lo          float64 `json:"lo"`
 	Hi          float64 `json:"hi"`
+	// Confidence is the Wilson level of Lo/Hi when it differs from the
+	// default (possible only for single-cell serve requests with an
+	// explicit level); 0 means estimator.DefaultConfidence. Grid cells
+	// always compute at the default, so artifacts never carry it.
+	Confidence float64 `json:"confidence,omitempty"`
 	// StdErr is the standard error of the hybrid product expectation.
 	StdErr float64 `json:"std_err,omitempty"`
 	// Dist is the tabulated window distribution (windowdist cells).
@@ -304,12 +279,9 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Artifact, error) {
 	cells := norm.Expand()
 
 	// One deterministic RNG substream seed per cell, fixed by the spec
-	// seed and the cell index alone.
-	seeds := make([]uint64, len(cells))
-	root := rng.New(norm.Seed)
-	for i := range seeds {
-		seeds[i] = root.Uint64()
-	}
+	// seed and the cell index alone (the canonical estimator
+	// derivation).
+	seeds := estimator.DeriveSeeds(norm.Seed, len(cells))
 
 	budget := norm.Workers
 	if budget == 0 {
@@ -400,105 +372,71 @@ feed:
 	}, nil
 }
 
-// runCell evaluates one cell on its private RNG substream. innerWorkers
-// bounds the cell's Monte Carlo parallelism (scheduling only).
-func runCell(ctx context.Context, spec Spec, cell Cell, seed uint64, innerWorkers int, timing bool) (CellResult, error) {
-	res := CellResult{Cell: cell, EffectiveM: cell.PrefixLen}
-	start := time.Now()
-
-	model, err := memmodel.ByName(cell.Model)
-	if err != nil {
-		return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+// Query translates one grid cell of the spec into the canonical
+// estimator query it dispatches. The spec's scalar fields and the cell's
+// grid coordinates meet here — the only place a sweep encodes estimator
+// parameters.
+//
+// Seed is the spec's experiment seed; the engine does NOT feed it
+// through estimator.Estimate's single-query derivation. Instead each
+// cell runs on its own substream, estimator.DeriveSeeds(spec.Seed,
+// len(cells))[cell.Index], passed to estimator.Run directly — so
+// reproducing cell i outside the engine requires that same derivation,
+// not a bare Estimate of this query.
+func (s Spec) Query(cell Cell) estimator.Query {
+	return estimator.Query{
+		Kind:       cell.Estimator,
+		Model:      cell.Model,
+		Threads:    cell.Threads,
+		PrefixLen:  cell.PrefixLen,
+		StoreProb:  s.StoreProb,
+		SwapProb:   s.SwapProb,
+		Trials:     s.Trials,
+		Seed:       s.Seed,
+		Confidence: estimator.DefaultConfidence,
+		MaxGamma:   s.MaxGamma,
 	}
-	cfg := core.Config{
-		Model:     model,
-		Threads:   cell.Threads,
-		PrefixLen: cell.PrefixLen,
-		StoreProb: spec.StoreProb,
-		SwapProb:  spec.SwapProb,
-	}
-	mcCfg := mc.Config{Trials: spec.Trials, Workers: innerWorkers, Seed: seed}
-
-	switch cell.Estimator {
-	case Exact:
-		if cell.Threads != 2 {
-			res.Skipped = true
-			res.Note = "exact DP requires n = 2"
-			break
-		}
-		if cfg.PrefixLen > ExactPrefixCap {
-			cfg.PrefixLen = ExactPrefixCap
-			res.EffectiveM = ExactPrefixCap
-			res.Note = fmt.Sprintf("m clamped to %d for exact DP", ExactPrefixCap)
-		}
-		iv, err := core.ExactTwoThreadPrA(cfg)
-		if err != nil {
-			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
-		}
-		res.Estimate = iv.Midpoint()
-		res.Lo, res.Hi = iv.Lo, iv.Hi
-		res.LogEstimate = safeLog(res.Estimate)
-
-	case FullMC:
-		out, err := core.EstimateNoBugProb(ctx, cfg, mcCfg)
-		if err != nil {
-			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
-		}
-		lo, hi, err := out.WilsonCI(ciLevel)
-		if err != nil {
-			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
-		}
-		res.Estimate = out.Estimate()
-		res.Lo, res.Hi = lo, hi
-		res.LogEstimate = safeLog(res.Estimate)
-
-	case Hybrid:
-		out, err := core.HybridPrA(ctx, cfg, mcCfg)
-		if err != nil {
-			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
-		}
-		res.Estimate = out.PrA
-		res.LogEstimate = out.LogPrA
-		res.StdErr = out.StdErr
-
-	case WindowDist:
-		m := cell.PrefixLen
-		if m > ExactPrefixCap {
-			m = ExactPrefixCap
-			res.EffectiveM = m
-			res.Note = fmt.Sprintf("m clamped to %d for exact DP", ExactPrefixCap)
-		}
-		maxGamma := spec.MaxGamma
-		if maxGamma > m {
-			maxGamma = m
-		}
-		pmf, err := settle.ExactWindowDist(model, m, spec.StoreProb, spec.SwapProb, maxGamma)
-		if err != nil {
-			return res, fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
-		}
-		res.Dist = make([]float64, maxGamma+1)
-		mean := 0.0
-		for gamma := range res.Dist {
-			res.Dist[gamma] = pmf.At(gamma)
-			mean += float64(gamma) * pmf.At(gamma)
-		}
-		res.Estimate = mean
-
-	default:
-		return res, fmt.Errorf("%w: unknown estimator %q", ErrBadSpec, cell.Estimator)
-	}
-
-	if timing {
-		res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	}
-	return res, nil
 }
 
-// safeLog returns ln(x) for positive x and 0 otherwise, keeping cell
-// results JSON-encodable (encoding/json rejects ±Inf).
-func safeLog(x float64) float64 {
-	if x > 0 {
-		return math.Log(x)
+// CellResultOf shapes a dispatched estimator result as the artifact
+// cell for the given grid coordinates. It is the single conversion
+// point shared with the serve API. The artifact schema's field set is
+// frozen for byte compatibility: unified-result diagnostics that
+// postdate it (Confidence, ProductExpectation, TrialsUsed) are not
+// persisted.
+func CellResultOf(cell Cell, res estimator.Result) CellResult {
+	// Only a non-default Wilson level is worth recording; the default is
+	// elided to keep artifact bytes identical to the pre-Confidence
+	// schema.
+	confidence := res.Confidence
+	if confidence == estimator.DefaultConfidence {
+		confidence = 0
 	}
-	return 0
+	return CellResult{
+		Cell:        cell,
+		Skipped:     res.Skipped,
+		Note:        res.Note,
+		EffectiveM:  res.EffectiveM,
+		Estimate:    res.Estimate,
+		LogEstimate: res.LogEstimate,
+		Lo:          res.Lo,
+		Hi:          res.Hi,
+		Confidence:  confidence,
+		StdErr:      res.StdErr,
+		Dist:        res.Dist,
+		ElapsedMS:   res.ElapsedMS,
+	}
+}
+
+// runCell evaluates one cell on its private RNG substream by dispatching
+// its query through the estimator registry. innerWorkers bounds the
+// cell's Monte Carlo parallelism (scheduling only).
+func runCell(ctx context.Context, spec Spec, cell Cell, seed uint64, innerWorkers int, timing bool) (CellResult, error) {
+	res, err := estimator.Run(ctx, spec.Query(cell), seed,
+		estimator.Exec{Workers: innerWorkers, Timing: timing})
+	if err != nil {
+		return CellResult{Cell: cell, EffectiveM: cell.PrefixLen},
+			fmt.Errorf("sweep: cell %d: %w", cell.Index, err)
+	}
+	return CellResultOf(cell, res), nil
 }

@@ -18,6 +18,13 @@
 //     buffers) with a litmus-test harness and a vector-clock race
 //     detector, grounding the abstract model in executable semantics.
 //
+// Estimation runs through one canonical surface: a Query (the full
+// model/threads/prefix/p/s/trials/seed/confidence/kind tuple) dispatched
+// via Estimate or EstimateBatch through the internal estimator registry.
+// The sweep engine, the HTTP service, the cmd/ tools, and this package's
+// legacy helpers (now documented shims) all adapt onto it, so
+// validation, clamping, and defaults are defined exactly once.
+//
 // Types are re-exported as aliases so downstream code needs only this
 // package for the common workflows; the cmd/ tools and examples/ show
 // complete usage.
@@ -29,12 +36,12 @@ import (
 
 	"memreliability/internal/analytic"
 	"memreliability/internal/core"
+	"memreliability/internal/estimator"
 	"memreliability/internal/litmus"
 	"memreliability/internal/machine"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
 	"memreliability/internal/serve"
-	"memreliability/internal/settle"
 	"memreliability/internal/sweep"
 )
 
@@ -52,6 +59,55 @@ type HybridResult = core.HybridResult
 
 // ScalingRow is one row of a Theorem 6.3 thread-scaling sweep.
 type ScalingRow = core.ScalingRow
+
+// Query is the canonical estimation request: the full (model, threads,
+// prefix, p, s, trials, seed, confidence, max gamma, kind) tuple that
+// every surface — this facade, sweeps, the HTTP service, the CLIs —
+// dispatches through one registry. Start from DefaultQuery.
+type Query = estimator.Query
+
+// QueryResult is the unified estimator result: point estimate, interval,
+// log-domain value, per-kind diagnostics, and cost/timing metadata.
+type QueryResult = estimator.Result
+
+// Kind names an estimation route in the estimator registry. It is the
+// same type as SweepKind: a sweep cell's kind and a direct Query's kind
+// interchange freely.
+type Kind = estimator.Kind
+
+// BatchOptions tunes an EstimateBatch run (worker budget, timing,
+// progress callback) without affecting its results.
+type BatchOptions = estimator.BatchOptions
+
+// DefaultConfidence is the Wilson-interval level used when a Query
+// leaves Confidence at zero.
+const DefaultConfidence = estimator.DefaultConfidence
+
+// DefaultQuery returns the paper's normal form — hybrid estimation of
+// Pr[A] at n = 2, m = 64, p = s = 1/2, 50000 trials, seed 1, 99%
+// confidence, max gamma 8. Every surface's defaults (this facade's
+// helpers included) derive from it; set Model and override fields as
+// needed.
+func DefaultQuery() Query { return estimator.DefaultQuery() }
+
+// Estimate evaluates one Query through the estimator registry: canonical
+// validation, exact-DP clamping, and deterministic seed derivation in
+// one place. The result depends only on the Query — never on scheduling.
+func Estimate(ctx context.Context, q Query) (QueryResult, error) {
+	return estimator.Estimate(ctx, q)
+}
+
+// EstimateBatch evaluates the queries concurrently under a bounded
+// worker pool and returns results in query order. Each result is
+// identical to what a lone Estimate of that query returns, at any
+// worker budget; opts.Progress observes completions.
+func EstimateBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]QueryResult, error) {
+	return estimator.EstimateBatch(ctx, queries, opts)
+}
+
+// EstimatorKinds lists every registered estimator kind in canonical
+// order (exact, mc, hybrid, windowdist, then extensions).
+func EstimatorKinds() []Kind { return estimator.Kinds() }
 
 // SweepSpec declaratively describes an experiment sweep: a grid of
 // models × thread counts × prefix lengths × estimator kinds, plus trials,
@@ -121,62 +177,104 @@ func ModelByName(name string) (Model, error) { return memmodel.ByName(name) }
 // parameters p = s = 1/2 (Theorem 4.1's quantity, at finite m).
 //
 // Prefix lengths above SweepExactPrefixCap are clamped to it, exactly as
-// the sweep engine clamps its windowdist cells: the exact DP's state
-// space is 2^m, so larger prefixes are intractable, and the finite-m
-// truncation error already decays geometrically well below the cap.
+// the estimator registry clamps every windowdist query: the exact DP's
+// state space is 2^m, so larger prefixes are intractable, and the
+// finite-m truncation error already decays geometrically well below the
+// cap.
+//
+// Deprecated-style shim: it is a thin adapter over Estimate with
+// Kind = SweepWindowDist; new code should build a Query to control p, s,
+// and the prefix directly.
 func WindowDistribution(model Model, prefixLen, maxGamma int) ([]float64, error) {
-	if prefixLen > sweep.ExactPrefixCap {
-		prefixLen = sweep.ExactPrefixCap
-	}
-	pmf, err := settle.ExactWindowDist(model, prefixLen, 0.5, 0.5, maxGamma)
+	q := DefaultQuery()
+	q.Kind = SweepWindowDist
+	q.Model = model.Name()
+	q.PrefixLen = prefixLen
+	q.MaxGamma = maxGamma
+	res, err := Estimate(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
+	// The registry tabulates Pr[B_γ] only up to the effective prefix
+	// length; the probability of growth beyond it is exactly zero, so
+	// pad to the requested support.
 	out := make([]float64, maxGamma+1)
-	for gamma := range out {
-		out[gamma] = pmf.At(gamma)
-	}
+	copy(out, res.Dist)
 	return out, nil
 }
 
 // TwoThreadNoBugProbability returns rigorous bounds on Pr[A] for two
 // threads under the model (Theorem 6.2's quantity), computed exactly from
-// the settling dynamic program.
+// the settling dynamic program. It is a shim over Estimate with
+// Kind = SweepExact at m = 16.
 func TwoThreadNoBugProbability(model Model) (Interval, error) {
-	cfg := Config{Model: model, Threads: 2, PrefixLen: 16, StoreProb: 0.5, SwapProb: 0.5}
-	return core.ExactTwoThreadPrA(cfg)
+	q := DefaultQuery()
+	q.Kind = SweepExact
+	q.Model = model.Name()
+	q.PrefixLen = 16
+	res, err := Estimate(context.Background(), q)
+	if err != nil {
+		return Interval{}, err
+	}
+	return Interval{Lo: res.Lo, Hi: res.Hi}, nil
 }
 
 // NoBugProbability estimates Pr[A] for the given model and thread count by
 // full Monte Carlo over the joined process, returning the point estimate
-// with a 99% Wilson interval.
+// with its Wilson interval at DefaultConfidence (99%).
+//
+// Deprecated-style shim: it is a thin adapter over Estimate with
+// Kind = SweepFullMC and the DefaultQuery normal form; build a Query to
+// choose another confidence level, prefix length, or probabilities.
 func NoBugProbability(ctx context.Context, model Model, threads, trials int, seed uint64) (estimate, lo, hi float64, err error) {
-	cfg := core.DefaultConfig(model, threads)
-	res, err := core.EstimateNoBugProb(ctx, cfg, mc.Config{Trials: trials, Seed: seed})
+	q := DefaultQuery()
+	q.Kind = SweepFullMC
+	q.Model = model.Name()
+	q.Threads = threads
+	q.Trials = trials
+	q.Seed = seed
+	res, err := Estimate(ctx, q)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	lo, hi, err = res.WilsonCI(0.99)
-	if err != nil {
-		return 0, 0, 0, err
-	}
-	return res.Estimate(), lo, hi, nil
+	return res.Estimate, res.Lo, res.Hi, nil
 }
 
 // HybridNoBugProbability estimates Pr[A] via Theorem 6.1 (analytic shift
 // combinatorics, Monte Carlo window expectation); unlike NoBugProbability
 // it stays accurate when Pr[A] is astronomically small.
+//
+// Deprecated-style shim over Estimate with Kind = SweepHybrid; the
+// returned HybridResult is assembled from the QueryResult's estimate,
+// log estimate, and hybrid diagnostics.
 func HybridNoBugProbability(ctx context.Context, model Model, threads, trials int, seed uint64) (*HybridResult, error) {
-	cfg := core.DefaultConfig(model, threads)
-	return core.HybridPrA(ctx, cfg, mc.Config{Trials: trials, Seed: seed})
+	q := DefaultQuery()
+	q.Kind = SweepHybrid
+	q.Model = model.Name()
+	q.Threads = threads
+	q.Trials = trials
+	q.Seed = seed
+	res, err := Estimate(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridResult{
+		PrA:                res.Estimate,
+		LogPrA:             res.LogEstimate,
+		ProductExpectation: res.ProductExpectation,
+		StdErr:             res.StdErr,
+	}, nil
 }
 
 // ThreadScaling sweeps thread counts for the given models and reports the
 // Theorem 6.3 normalized decay rates −ln Pr[A]/n² and their ratio to SC.
 // The sweep runs through the orchestration engine: one hybrid cell per
 // model × n, sharded across a worker pool, deterministic in the seed.
+// Cells use DefaultQuery's normal-form prefix length (m = 64), so the
+// paper's normal form is defined in exactly one place.
 func ThreadScaling(ctx context.Context, models []Model, ns []int, trials int, seed uint64) ([]ScalingRow, error) {
-	return sweep.ThreadScaling(ctx, models, ns, 64, mc.Config{Trials: trials, Seed: seed})
+	return sweep.ThreadScaling(ctx, models, ns, DefaultQuery().PrefixLen,
+		mc.Config{Trials: trials, Seed: seed})
 }
 
 // DefaultSweepSpec returns a spec pre-filled with the paper's normal-form

@@ -164,6 +164,156 @@ func TestFacadeRunSweep(t *testing.T) {
 	}
 }
 
+// TestFacadeShimsMatchDirectEstimate pins the satellite contract of the
+// Query redesign: every legacy facade helper is a pure shim — its output
+// is field-for-field identical to a direct Estimate of the equivalent
+// Query.
+func TestFacadeShimsMatchDirectEstimate(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("NoBugProbability", func(t *testing.T) {
+		est, lo, hi, err := NoBugProbability(ctx, TSO(), 2, 5000, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := DefaultQuery()
+		q.Kind = SweepFullMC
+		q.Model = "TSO"
+		q.Trials = 5000
+		q.Seed = 17
+		direct, err := Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est != direct.Estimate || lo != direct.Lo || hi != direct.Hi {
+			t.Errorf("shim (%v, %v, %v) != direct (%v, %v, %v)",
+				est, lo, hi, direct.Estimate, direct.Lo, direct.Hi)
+		}
+	})
+
+	t.Run("HybridNoBugProbability", func(t *testing.T) {
+		res, err := HybridNoBugProbability(ctx, WO(), 4, 4000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := DefaultQuery()
+		q.Kind = SweepHybrid
+		q.Model = "WO"
+		q.Threads = 4
+		q.Trials = 4000
+		q.Seed = 5
+		direct, err := Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PrA != direct.Estimate || res.LogPrA != direct.LogEstimate ||
+			res.StdErr != direct.StdErr || res.ProductExpectation != direct.ProductExpectation {
+			t.Errorf("shim %+v != direct %+v", res, direct)
+		}
+	})
+
+	t.Run("TwoThreadNoBugProbability", func(t *testing.T) {
+		iv, err := TwoThreadNoBugProbability(PSO())
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := DefaultQuery()
+		q.Kind = SweepExact
+		q.Model = "PSO"
+		q.PrefixLen = 16
+		direct, err := Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lo != direct.Lo || iv.Hi != direct.Hi {
+			t.Errorf("shim [%v, %v] != direct [%v, %v]", iv.Lo, iv.Hi, direct.Lo, direct.Hi)
+		}
+	})
+
+	t.Run("WindowDistribution", func(t *testing.T) {
+		dist, err := WindowDistribution(WO(), 12, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := DefaultQuery()
+		q.Kind = SweepWindowDist
+		q.Model = "WO"
+		q.PrefixLen = 12
+		q.MaxGamma = 6
+		direct, err := Estimate(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dist) != len(direct.Dist) {
+			t.Fatalf("shim has %d entries, direct %d", len(dist), len(direct.Dist))
+		}
+		for i := range dist {
+			if dist[i] != direct.Dist[i] {
+				t.Errorf("dist[%d] = %v, want %v", i, dist[i], direct.Dist[i])
+			}
+		}
+	})
+}
+
+// TestFacadeQueryConfidence covers the exposed confidence level: a
+// narrower level shrinks the Wilson interval around the same point
+// estimate.
+func TestFacadeQueryConfidence(t *testing.T) {
+	ctx := context.Background()
+	q := DefaultQuery()
+	q.Kind = SweepFullMC
+	q.Model = "TSO"
+	q.Trials = 5000
+	q.Seed = 17
+	wide, err := Estimate(ctx, q) // Confidence = DefaultConfidence (0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Confidence = 0.5
+	narrow, err := Estimate(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Estimate != narrow.Estimate {
+		t.Errorf("point estimate depends on confidence: %v vs %v", wide.Estimate, narrow.Estimate)
+	}
+	if narrow.Hi-narrow.Lo >= wide.Hi-wide.Lo {
+		t.Errorf("50%% interval [%v, %v] not narrower than 99%% [%v, %v]",
+			narrow.Lo, narrow.Hi, wide.Lo, wide.Hi)
+	}
+	if wide.Confidence != DefaultConfidence || narrow.Confidence != 0.5 {
+		t.Errorf("confidence echoes %v, %v", wide.Confidence, narrow.Confidence)
+	}
+}
+
+// TestFacadeEstimateBatch exercises the batch API through the facade.
+func TestFacadeEstimateBatch(t *testing.T) {
+	var queries []Query
+	for _, model := range []string{"SC", "TSO"} {
+		q := DefaultQuery()
+		q.Kind = SweepExact
+		q.Model = model
+		q.PrefixLen = 12
+		queries = append(queries, q)
+	}
+	done := 0
+	results, err := EstimateBatch(context.Background(), queries, BatchOptions{
+		Progress: func(int, QueryResult) { done++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || done != 2 {
+		t.Fatalf("results %d, progress %d", len(results), done)
+	}
+	if math.Abs(results[0].Estimate-1.0/6.0) > 1e-3 {
+		t.Errorf("SC exact = %v", results[0].Estimate)
+	}
+	if len(EstimatorKinds()) < 4 {
+		t.Errorf("EstimatorKinds = %v", EstimatorKinds())
+	}
+}
+
 func TestFacadeLitmus(t *testing.T) {
 	if len(LitmusTests()) < 7 {
 		t.Error("registry too small")
