@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint smoke-serve vuln ci
+.PHONY: all build test bench bench-adaptive lint smoke-serve vuln ci
 
 all: ci
 
@@ -13,8 +13,16 @@ build:
 test:
 	$(GO) test -race ./...
 
+# bench skips the AdaptivePrecision comparison — that one (the most
+# expensive benchmark) runs exactly once, in its own bench-adaptive step.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run='^$$'
+	$(GO) test -bench=. -skip=AdaptivePrecision -benchtime=1x -run='^$$'
+
+# bench-adaptive runs the fixed-vs-adaptive comparison on the same cell:
+# both meet the same interval target, the adaptive side reports the
+# trials it actually consumed.
+bench-adaptive:
+	$(GO) test -bench=AdaptivePrecision -benchtime=1x -run='^$$'
 
 smoke-serve:
 	./scripts/smoke_serve.sh
@@ -36,4 +44,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: lint build test bench smoke-serve vuln
+ci: lint build test bench bench-adaptive smoke-serve vuln

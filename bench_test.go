@@ -15,6 +15,7 @@ import (
 
 	"memreliability/internal/analytic"
 	"memreliability/internal/core"
+	"memreliability/internal/estimator"
 	"memreliability/internal/litmus"
 	"memreliability/internal/machine"
 	"memreliability/internal/mc"
@@ -723,6 +724,42 @@ func BenchmarkSweepEngine(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- ablation: fixed vs adaptive precision on the same cell ---
+
+// BenchmarkAdaptivePrecision compares the fixed-trials route against the
+// adaptive estimate-to-target-CI route on one easy cell: both meet a
+// ±0.01 Wilson half-width, but the adaptive run stops as soon as the
+// interval is tight enough instead of burning the whole budget. The
+// per-op times ARE the comparison (run via `make bench-adaptive`).
+func BenchmarkAdaptivePrecision(b *testing.B) {
+	base := estimator.DefaultQuery()
+	base.Kind = estimator.FullMC
+	base.Model = "TSO"
+	base.PrefixLen = 24
+	base.Trials = 100000
+	base.Seed = 99
+
+	b.Run("fixed-100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := estimator.Estimate(context.Background(), base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("adaptive-halfwidth-0.01", func(b *testing.B) {
+		q := base
+		q.Precision = &estimator.Precision{TargetHalfWidth: 0.01}
+		var res estimator.Result
+		var err error
+		for i := 0; i < b.N; i++ {
+			if res, err = estimator.Estimate(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(res.TrialsUsed), "trials")
+	})
 }
 
 // --- ablation: settling cost across models (DESIGN.md validation aid) ---

@@ -49,6 +49,9 @@ func run(args []string, out io.Writer) error {
 	storeProb := fs.Float64("p", 0.5, "store probability p")
 	swapProb := fs.Float64("s", 0.5, "swap probability s")
 	doSweep := fs.Bool("sweep", false, "run the Theorem 6.3 thread-scaling sweep instead")
+	ciHalf := fs.Float64("ci-halfwidth", 0, "adaptive: stop when the CI half-width is ≤ this (0 = fixed trials)")
+	ciRelErr := fs.Float64("ci-relerr", 0, "adaptive: stop when half-width ≤ relerr × estimate (0 = fixed trials)")
+	maxTrials := fs.Int("max-trials", 0, "adaptive trial budget cap (0 = -trials); only with -ci-halfwidth/-ci-relerr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +86,22 @@ func run(args []string, out io.Writer) error {
 	base.StoreProb = *storeProb
 	base.SwapProb = *swapProb
 
+	// An adaptive-precision request applies to the trial-consuming routes
+	// only; the exact DP has no sampling to stop. Any nonzero value —
+	// negative or NaN included — builds the block, so bad targets are
+	// rejected by the estimator's canonical validation instead of
+	// silently running the full fixed budget.
+	var precision *estimator.Precision
+	if *ciHalf != 0 || *ciRelErr != 0 {
+		precision = &estimator.Precision{
+			TargetHalfWidth: *ciHalf,
+			TargetRelErr:    *ciRelErr,
+			MaxTrials:       *maxTrials,
+		}
+	} else if *maxTrials != 0 {
+		return fmt.Errorf("-max-trials needs -ci-halfwidth or -ci-relerr")
+	}
+
 	// Each route gets its own experiment seed derived from -seed, so the
 	// Monte Carlo routes draw independent substreams and their rows
 	// cross-check each other rather than sharing sampling error.
@@ -92,6 +111,10 @@ func run(args []string, out io.Writer) error {
 		q := base
 		q.Kind = kind
 		q.Seed = seeds[i]
+		if precision != nil && kind.NeedsTrials() {
+			p := *precision
+			q.Precision = &p
+		}
 		queries[i] = q
 	}
 

@@ -34,6 +34,41 @@ func TestRunLargeNSkipsFullMC(t *testing.T) {
 	}
 }
 
+// TestRunAdaptiveFlags: -ci-halfwidth switches the Monte Carlo routes to
+// adaptive sampling (the notes column reports trials and stop reason)
+// while the exact DP row is untouched.
+func TestRunAdaptiveFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "TSO", "-threads", "2", "-trials", "200000",
+		"-ci-halfwidth", "0.02", "-seed", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "adaptive:") || !strings.Contains(out, "converged") {
+		t.Errorf("adaptive run does not report its cost:\n%s", out)
+	}
+	if !strings.Contains(out, "exact DP (n=2)") {
+		t.Errorf("exact row missing from adaptive run:\n%s", out)
+	}
+}
+
+func TestRunRejectsOrphanMaxTrials(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TSO", "-max-trials", "1000"}, &sb); err == nil {
+		t.Error("-max-trials without a target accepted")
+	}
+}
+
+// TestRunRejectsNegativeTarget: a sign typo must error out, not silently
+// run the full fixed budget.
+func TestRunRejectsNegativeTarget(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "TSO", "-ci-halfwidth", "-0.005"}, &sb); err == nil {
+		t.Error("negative -ci-halfwidth accepted")
+	}
+}
+
 func TestRunRejectsBadModel(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-model", "RC"}, &sb); err == nil {

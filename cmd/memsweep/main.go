@@ -26,6 +26,7 @@ import (
 	"strings"
 	"syscall"
 
+	"memreliability/internal/estimator"
 	"memreliability/internal/sweep"
 )
 
@@ -51,6 +52,9 @@ func run(ctx context.Context, args []string, out, progress io.Writer) error {
 	storeProb := fs.Float64("p", 0.5, "store probability p")
 	swapProb := fs.Float64("s", 0.5, "swap probability s")
 	maxGamma := fs.Int("maxgamma", 8, "tabulated support bound for windowdist cells")
+	ciHalf := fs.Float64("ci-halfwidth", 0, "adaptive: stop each mc/hybrid cell when its CI half-width is ≤ this (0 = fixed trials)")
+	ciRelErr := fs.Float64("ci-relerr", 0, "adaptive: stop each mc/hybrid cell when half-width ≤ relerr × estimate (0 = fixed trials)")
+	maxTrials := fs.Int("max-trials", 0, "adaptive per-cell trial budget cap (0 = -trials)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
 	outPath := fs.String("o", "", "write the JSON artifact to this file")
 	format := fs.String("format", "text", "stdout rendering: text, csv, markdown, or json")
@@ -92,6 +96,18 @@ func run(ctx context.Context, args []string, out, progress io.Writer) error {
 		spec.StoreProb = *storeProb
 		spec.SwapProb = *swapProb
 		spec.MaxGamma = *maxGamma
+		// Any nonzero target — negative or NaN included — builds the
+		// block, so bad values fail spec validation instead of silently
+		// selecting fixed-trials mode.
+		if *ciHalf != 0 || *ciRelErr != 0 {
+			spec.Precision = &estimator.Precision{
+				TargetHalfWidth: *ciHalf,
+				TargetRelErr:    *ciRelErr,
+				MaxTrials:       *maxTrials,
+			}
+		} else if *maxTrials != 0 {
+			return fmt.Errorf("-max-trials needs -ci-halfwidth or -ci-relerr")
+		}
 	}
 	if *workers != 0 {
 		// Only override the spec file's worker budget when the flag was

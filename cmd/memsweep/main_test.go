@@ -67,6 +67,48 @@ func TestRunGridFlags(t *testing.T) {
 	}
 }
 
+// TestRunAdaptiveFlags: the adaptive flags attach a precision block to
+// the spec, and the JSON artifact records per-cell trial counts and stop
+// reasons for the Monte Carlo cells.
+func TestRunAdaptiveFlags(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-models", "SC", "-threads", "2", "-m", "12", "-estimators", "mc",
+			"-trials", "100000", "-ci-halfwidth", "0.02", "-seed", "3",
+			"-quiet", "-format", "json"},
+		&sb, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"precision"`, `"target_half_width": 0.02`,
+		`"trials_used"`, `"stop_reason": "converged"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("adaptive artifact missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsOrphanMaxTrials(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-models", "SC", "-max-trials", "500"}, &sb, os.Stderr)
+	if err == nil {
+		t.Error("-max-trials without a target accepted")
+	}
+}
+
+// TestRunRejectsNegativeTarget: a sign typo must fail spec validation,
+// not silently select fixed-trials mode.
+func TestRunRejectsNegativeTarget(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-models", "SC", "-ci-relerr", "-0.1"}, &sb, os.Stderr)
+	if err == nil {
+		t.Error("negative -ci-relerr accepted")
+	}
+}
+
 func TestRunJSONFormat(t *testing.T) {
 	var sb strings.Builder
 	err := run(context.Background(),

@@ -1,0 +1,73 @@
+// Command adaptive demonstrates adaptive-precision estimation: the same
+// absolute half-width target on an easy cell (Pr[A] ≈ 0.13, converges
+// after one sampling round) and a deep-tail relative-error cell (hybrid
+// at n = 10, where only the budget cap bounds the work), compared
+// against the fixed-trials default.
+//
+// The trials-consumed numbers are deterministic: rerunning this program
+// — at any worker count — prints the same counts.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"memreliability"
+)
+
+func main() {
+	ctx := context.Background()
+	const fixedTrials = 200000
+
+	// Easy cell: full Monte Carlo of Pr[A] under TSO at n=2. A fixed run
+	// spends 200k trials; the adaptive run stops as soon as the 99%
+	// Wilson interval is ±0.005 wide.
+	easy := memreliability.DefaultQuery()
+	easy.Kind = memreliability.SweepFullMC
+	easy.Model = "TSO"
+	easy.Trials = fixedTrials
+	easy.Precision = &memreliability.Precision{TargetHalfWidth: 0.005}
+	res, err := memreliability.Estimate(ctx, easy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("easy cell   (mc, TSO n=2, target ±0.005):\n")
+	fmt.Printf("  Pr[A] = %.4f in [%.4f, %.4f]\n", res.Estimate, res.Lo, res.Hi)
+	fmt.Printf("  %d trials in %d rounds (%s) — %.0f× fewer than the fixed %d\n\n",
+		res.TrialsUsed, res.Rounds, res.StopReason,
+		float64(fixedTrials)/float64(res.TrialsUsed), fixedTrials)
+
+	// Deep-tail cell: the hybrid estimator at n=10 (Pr[A] ~ e^{-Θ(n²)},
+	// far below direct simulation). A 5% relative-error target on Pr[A]
+	// transfers to the product expectation unchanged; the budget cap
+	// bounds the spend and the stop reason says whether it sufficed.
+	deep := memreliability.DefaultQuery()
+	deep.Kind = memreliability.SweepHybrid
+	deep.Model = "WO"
+	deep.Threads = 10
+	deep.Trials = fixedTrials
+	deep.Precision = &memreliability.Precision{TargetRelErr: 0.05, MaxTrials: 500000}
+	res, err = memreliability.Estimate(ctx, deep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deep tail   (hybrid, WO n=10, target 5%% rel err, cap 500k):\n")
+	fmt.Printf("  ln Pr[A] = %.2f (Pr[A] = %.3g)\n", res.LogEstimate, res.Estimate)
+	fmt.Printf("  %d trials in %d rounds (%s)\n\n", res.TrialsUsed, res.Rounds, res.StopReason)
+
+	// An unreachable target: the run must report budget exhaustion, not
+	// pretend to have converged.
+	capped := easy
+	capped.Precision = &memreliability.Precision{TargetRelErr: 0.0001, MaxTrials: 50000}
+	res, err = memreliability.Estimate(ctx, capped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capped cell (mc, TSO n=2, target 0.01%% rel err, cap 50k):\n")
+	fmt.Printf("  %d trials in %d rounds — stop reason: %s\n",
+		res.TrialsUsed, res.Rounds, res.StopReason)
+	if res.StopReason == memreliability.StopBudget {
+		fmt.Println("  (the estimate did NOT reach the requested precision)")
+	}
+}

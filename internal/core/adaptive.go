@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"memreliability/internal/mc"
+	"memreliability/internal/rng"
+	"memreliability/internal/shift"
+)
+
+// EstimateNoBugProbAdaptive estimates Pr[A] by full Monte Carlo over the
+// joined process to a requested precision: sampling stops as soon as the
+// Wilson interval meets the adaptive config's targets, or its trial
+// budget cap runs out (reported in the result's StopReason, never
+// silently). Reproducibility matches mc.EstimateAdaptive: the result is
+// a pure function of (config, seed, targets, cap), worker-count
+// invariant, and bit-identical to the fixed-trials route when the budget
+// is exhausted.
+func EstimateNoBugProbAdaptive(ctx context.Context, cfg Config, acfg mc.AdaptiveConfig) (*mc.AdaptiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return mc.EstimateAdaptive(ctx, acfg, func(src *rng.Source) (bool, error) {
+		manifested, err := cfg.ManifestTrial(src)
+		return !manifested, err
+	})
+}
+
+// HybridAdaptiveResult is the outcome of an adaptive Theorem 6.1 hybrid
+// estimation: the usual hybrid result plus the sampling cost and the
+// stopping diagnosis.
+type HybridAdaptiveResult struct {
+	HybridResult
+	// TrialsUsed is the number of product-expectation trials consumed.
+	TrialsUsed int
+	// Rounds is the number of chunk-aligned sampling rounds executed.
+	Rounds int
+	// StopReason is mc.StopConverged or mc.StopBudget.
+	StopReason mc.StopReason
+}
+
+// HybridPrAAdaptive estimates Pr[A] via Theorem 6.1 to a requested
+// precision on Pr[A] itself. The hybrid estimate is the analytic
+// constant K(n) = Theorem61(n, 1) times the Monte Carlo product
+// expectation, so a relative-error target transfers to the expectation
+// unchanged, and an absolute half-width target rescales by 1/K(n)
+// (division by an underflowed K yields +Inf — i.e. an absolute target
+// astronomically looser than the quantity is trivially met, which is the
+// mathematically correct reading). The stopping rule is the
+// normal-approximation interval of the product expectation at the
+// config's confidence level.
+func HybridPrAAdaptive(ctx context.Context, cfg Config, acfg mc.AdaptiveConfig) (*HybridAdaptiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if acfg.TargetHalfWidth > 0 {
+		k, err := shift.Theorem61(cfg.Threads, 1)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		acfg.TargetHalfWidth /= k
+	}
+	sum, err := mc.EstimateMeanAdaptive(ctx, acfg, cfg.ProductTrial)
+	if err != nil {
+		return nil, err
+	}
+	expectation := sum.Summary.Mean()
+	if expectation <= 0 {
+		return nil, fmt.Errorf("%w: product expectation estimate %v not positive "+
+			"(raise the trial budget cap)", ErrBadConfig, expectation)
+	}
+	prA, err := shift.Theorem61(cfg.Threads, expectation)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Recompute in log space for the deep-tail regime, exactly as
+	// HybridPrA does.
+	n := cfg.Threads
+	c, err := shift.CorollaryC(n)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	logPrA := math.Log(c) -
+		float64(n+1)*float64(n)/2*math.Ln2 +
+		logFactorial(n) +
+		math.Log(expectation)
+	return &HybridAdaptiveResult{
+		HybridResult: HybridResult{
+			PrA:                prA,
+			LogPrA:             logPrA,
+			ProductExpectation: expectation,
+			StdErr:             sum.Summary.StdErr(),
+		},
+		TrialsUsed: sum.TrialsUsed(),
+		Rounds:     sum.Rounds,
+		StopReason: sum.StopReason,
+	}, nil
+}

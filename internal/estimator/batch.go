@@ -8,6 +8,35 @@ import (
 	"sync"
 )
 
+// SplitWorkerBudget partitions a total CPU budget across the pool
+// workers sharing `tasks` jobs: min(budget, tasks) workers, each with an
+// inner Monte Carlo budget, the remainder distributed one slot at a time
+// so the slices always sum to the full budget. Without the remainder, a
+// budget that doesn't divide the worker count leaves cores idle (e.g.
+// budget=8 over 3 queries truncated to 3×2 workers, idling 2 cores).
+// The split is pure scheduling — results never depend on it.
+func SplitWorkerBudget(budget, tasks int) []int {
+	workers := budget
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	inner := make([]int, workers)
+	base, rem := budget/workers, budget%workers
+	for w := range inner {
+		inner[w] = base
+		if w < rem {
+			inner[w]++
+		}
+		if inner[w] < 1 {
+			inner[w] = 1
+		}
+	}
+	return inner
+}
+
 // BatchOptions tunes an EstimateBatch run without affecting its results.
 type BatchOptions struct {
 	// Workers bounds the total CPU budget: at most min(Workers, len)
@@ -54,14 +83,8 @@ func EstimateBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]R
 	if budget == 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
-	workers := budget
-	if workers > len(norm) {
-		workers = len(norm)
-	}
-	innerWorkers := budget / workers
-	if innerWorkers < 1 {
-		innerWorkers = 1
-	}
+	inner := SplitWorkerBudget(budget, len(norm))
+	workers := len(inner)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -79,7 +102,7 @@ func EstimateBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]R
 			for idx := range jobs {
 				q := norm[idx]
 				res, err := Run(runCtx, q, DeriveSeeds(q.Seed, 1)[0],
-					Exec{Workers: innerWorkers, Timing: opts.Timing})
+					Exec{Workers: inner[w], Timing: opts.Timing})
 				if err != nil {
 					errs[w] = fmt.Errorf("estimator: batch query %d: %w", idx, err)
 					cancel()

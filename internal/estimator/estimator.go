@@ -110,6 +110,63 @@ type Query struct {
 	// MaxGamma bounds the tabulated support of windowdist results
 	// (clamped to the effective prefix length).
 	MaxGamma int `json:"max_gamma"`
+	// Precision, when non-nil, switches the trial-consuming kinds (mc,
+	// hybrid) to adaptive-precision sampling: deterministic chunk-aligned
+	// rounds until the confidence interval meets the targets or the trial
+	// budget cap runs out. Nil keeps the fixed-Trials mode, and keeps the
+	// query's JSON encoding — and thus every canonical cache key — byte-
+	// identical to the pre-adaptive wire form.
+	Precision *Precision `json:"precision,omitempty"`
+}
+
+// Precision is an adaptive-precision request: run Monte Carlo until the
+// confidence interval (at the query's Confidence level) meets every
+// configured target, or MaxTrials is exhausted. At least one target must
+// be positive. It is validated and normalized here, in exactly one place,
+// for every surface — sweeps, the HTTP service, the CLIs, and direct
+// queries.
+type Precision struct {
+	// TargetHalfWidth, when positive, is the requested absolute interval
+	// half-width on the estimate (for hybrid queries, on Pr[A] itself —
+	// the engine rescales it onto the product expectation analytically).
+	TargetHalfWidth float64 `json:"target_half_width,omitempty"`
+	// TargetRelErr, when positive, requires half-width ≤ TargetRelErr ×
+	// estimate. This is the deep-tail mode: an estimate of zero never
+	// satisfies it, so rare-event cells report budget exhaustion instead
+	// of a vacuous empty interval.
+	TargetRelErr float64 `json:"target_rel_err,omitempty"`
+	// MaxTrials caps the trial budget. Zero defaults to the query's
+	// Trials (normalization fills it in, so cache keys are canonical).
+	MaxTrials int `json:"max_trials,omitempty"`
+}
+
+// Validate checks the precision block's fields. Positive-form checks
+// reject NaN up front, mirroring the query's probability fields.
+func (p Precision) Validate() error {
+	if !(p.TargetHalfWidth >= 0 && p.TargetHalfWidth <= 1) {
+		return fmt.Errorf("%w: target half-width %v (need 0 ≤ w ≤ 1)", ErrBadQuery, p.TargetHalfWidth)
+	}
+	if !(p.TargetRelErr >= 0) || math.IsInf(p.TargetRelErr, 1) {
+		return fmt.Errorf("%w: target relative error %v", ErrBadQuery, p.TargetRelErr)
+	}
+	if p.TargetHalfWidth == 0 && p.TargetRelErr == 0 {
+		return fmt.Errorf("%w: precision block needs a positive target_half_width or target_rel_err", ErrBadQuery)
+	}
+	if p.MaxTrials < 0 {
+		return fmt.Errorf("%w: max trials %d", ErrBadQuery, p.MaxTrials)
+	}
+	return nil
+}
+
+// normalized returns a copy with MaxTrials defaulted from the query's
+// fixed trial budget, so a query that spells the default out and one
+// that omits it are identical — and collide wherever canonicalized
+// queries are hashed or cached.
+func (p Precision) normalized(trials int) Precision {
+	if p.MaxTrials == 0 {
+		p.MaxTrials = trials
+	}
+	return p
 }
 
 // DefaultQuery returns the paper's normal form — hybrid estimation of
@@ -139,6 +196,12 @@ func (q Query) Normalized() Query {
 	out.Kind = Kind(strings.ToLower(string(q.Kind)))
 	if m, err := memmodel.ByName(q.Model); err == nil {
 		out.Model = m.Name()
+	}
+	if q.Precision != nil {
+		// Clone before defaulting: queries are passed by value, and the
+		// caller's block must not be mutated through the shared pointer.
+		p := q.Precision.normalized(q.Trials)
+		out.Precision = &p
 	}
 	return out
 }
@@ -175,6 +238,14 @@ func (q Query) Validate() error {
 	}
 	if q.MaxGamma < 0 {
 		return fmt.Errorf("%w: max gamma %d", ErrBadQuery, q.MaxGamma)
+	}
+	if q.Precision != nil {
+		if !q.Kind.NeedsTrials() {
+			return fmt.Errorf("%w: precision requires a Monte Carlo kind, not %q", ErrBadQuery, q.Kind)
+		}
+		if err := q.Precision.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -227,12 +298,31 @@ type Result struct {
 	Dist []float64 `json:"dist,omitempty"`
 
 	// TrialsUsed is the Monte Carlo cost of the result (0 for the
-	// deterministic routes); ElapsedMS is wall-clock time, populated
-	// only when Exec.Timing is set because timing breaks byte-level
-	// reproducibility of encoded results.
+	// deterministic routes); for adaptive queries it is the trials
+	// actually consumed, which is itself deterministic in the query.
+	// ElapsedMS is wall-clock time, populated only when Exec.Timing is
+	// set because timing breaks byte-level reproducibility of encoded
+	// results.
 	TrialsUsed int     `json:"trials_used,omitempty"`
 	ElapsedMS  float64 `json:"elapsed_ms,omitempty"`
+
+	// Rounds and StopReason are the adaptive-precision diagnostics:
+	// Rounds counts the chunk-aligned sampling rounds, and StopReason is
+	// StopConverged when every target was met or StopBudget when
+	// MaxTrials ran out first — budget exhaustion is always reported,
+	// never silently folded into a converged-looking result. Both are
+	// empty for fixed-trials queries.
+	Rounds     int    `json:"rounds,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
 }
+
+// Result.StopReason values, matching the mc harness's stop reasons.
+const (
+	// StopConverged: every requested precision target was met.
+	StopConverged = "converged"
+	// StopBudget: the trial budget cap ran out before the targets held.
+	StopBudget = "budget"
+)
 
 // Notes summarizes the result's secondary outputs (CI bracket, log
 // estimate, tabulated distribution, skip reason) as a display string.
@@ -262,6 +352,10 @@ func (r Result) Notes() string {
 				cells[gamma] = fmt.Sprintf("P(%d)=%s", gamma, report.FormatRatio(p))
 			}
 			notes = append(notes, "estimate = E[γ]; "+strings.Join(cells, " "))
+		}
+		if r.StopReason != "" {
+			notes = append(notes, fmt.Sprintf("adaptive: %d trials in %d rounds (%s)",
+				r.TrialsUsed, r.Rounds, r.StopReason))
 		}
 		if r.Note != "" {
 			notes = append(notes, r.Note)

@@ -40,6 +40,27 @@ func mcConfig(q Query, seed uint64, ex Exec) mc.Config {
 	return mc.Config{Trials: q.Trials, Workers: ex.Workers, Seed: seed}
 }
 
+// adaptiveConfig translates a precision-carrying query into the adaptive
+// harness configuration. The query must be normalized (Precision cloned,
+// MaxTrials defaulted), which Estimate/EstimateBatch/sweep dispatch all
+// guarantee; the MaxTrials fallback repeats the default defensively for
+// direct Run callers.
+func adaptiveConfig(q Query, seed uint64, ex Exec) mc.AdaptiveConfig {
+	p := *q.Precision
+	max := p.MaxTrials
+	if max == 0 {
+		max = q.Trials
+	}
+	return mc.AdaptiveConfig{
+		MaxTrials:       max,
+		Workers:         ex.Workers,
+		Seed:            seed,
+		TargetHalfWidth: p.TargetHalfWidth,
+		TargetRelErr:    p.TargetRelErr,
+		Confidence:      q.confidence(),
+	}
+}
+
 // exactEstimator is the n=2 exact dynamic program (Theorem 6.2).
 type exactEstimator struct{}
 
@@ -86,9 +107,22 @@ func (fullMCEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Ex
 	if err != nil {
 		return res, err
 	}
-	out, err := core.EstimateNoBugProb(ctx, cfg, mcConfig(q, seed, ex))
-	if err != nil {
-		return res, fmt.Errorf("estimator: %w", err)
+	var out *mc.Result
+	if q.Precision != nil {
+		adaptive, err := core.EstimateNoBugProbAdaptive(ctx, cfg, adaptiveConfig(q, seed, ex))
+		if err != nil {
+			return res, fmt.Errorf("estimator: %w", err)
+		}
+		out = &adaptive.Result
+		res.TrialsUsed = adaptive.TrialsUsed()
+		res.Rounds = adaptive.Rounds
+		res.StopReason = string(adaptive.StopReason)
+	} else {
+		out, err = core.EstimateNoBugProb(ctx, cfg, mcConfig(q, seed, ex))
+		if err != nil {
+			return res, fmt.Errorf("estimator: %w", err)
+		}
+		res.TrialsUsed = q.Trials
 	}
 	level := q.confidence()
 	lo, hi, err := out.WilsonCI(level)
@@ -99,7 +133,6 @@ func (fullMCEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Ex
 	res.Lo, res.Hi = lo, hi
 	res.Confidence = level
 	res.LogEstimate = safeLog(res.Estimate)
-	res.TrialsUsed = q.Trials
 	return res, nil
 }
 
@@ -116,15 +149,27 @@ func (hybridEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Ex
 	if err != nil {
 		return res, err
 	}
-	out, err := core.HybridPrA(ctx, cfg, mcConfig(q, seed, ex))
-	if err != nil {
-		return res, fmt.Errorf("estimator: %w", err)
+	var out *core.HybridResult
+	if q.Precision != nil {
+		adaptive, err := core.HybridPrAAdaptive(ctx, cfg, adaptiveConfig(q, seed, ex))
+		if err != nil {
+			return res, fmt.Errorf("estimator: %w", err)
+		}
+		out = &adaptive.HybridResult
+		res.TrialsUsed = adaptive.TrialsUsed
+		res.Rounds = adaptive.Rounds
+		res.StopReason = string(adaptive.StopReason)
+	} else {
+		out, err = core.HybridPrA(ctx, cfg, mcConfig(q, seed, ex))
+		if err != nil {
+			return res, fmt.Errorf("estimator: %w", err)
+		}
+		res.TrialsUsed = q.Trials
 	}
 	res.Estimate = out.PrA
 	res.LogEstimate = out.LogPrA
 	res.StdErr = out.StdErr
 	res.ProductExpectation = out.ProductExpectation
-	res.TrialsUsed = q.Trials
 	return res, nil
 }
 

@@ -1,0 +1,208 @@
+package mc
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"memreliability/internal/rng"
+)
+
+// coinTrial is an "easy cell": a p ≈ 0.5 event.
+func coinTrial(src *rng.Source) (bool, error) { return src.Bool(0.5), nil }
+
+// rareTrial is a deep-tail cell: a p = 1/1024 event.
+func rareTrial(src *rng.Source) (bool, error) { return src.Intn(1024) == 0, nil }
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	base := AdaptiveConfig{MaxTrials: 1000, Seed: 1, Confidence: 0.99, TargetHalfWidth: 0.01}
+	cases := []struct {
+		name   string
+		mutate func(*AdaptiveConfig)
+	}{
+		{"zero max trials", func(c *AdaptiveConfig) { c.MaxTrials = 0 }},
+		{"negative workers", func(c *AdaptiveConfig) { c.Workers = -1 }},
+		{"confidence 0", func(c *AdaptiveConfig) { c.Confidence = 0 }},
+		{"confidence 1", func(c *AdaptiveConfig) { c.Confidence = 1 }},
+		{"no targets", func(c *AdaptiveConfig) { c.TargetHalfWidth = 0 }},
+		{"NaN half-width", func(c *AdaptiveConfig) { c.TargetHalfWidth = math.NaN() }},
+		{"NaN rel err", func(c *AdaptiveConfig) { c.TargetRelErr = math.NaN() }},
+		{"Inf rel err", func(c *AdaptiveConfig) { c.TargetRelErr = math.Inf(1) }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := EstimateAdaptive(context.Background(), cfg, coinTrial); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	if _, err := EstimateAdaptive(context.Background(), base, nil); err == nil {
+		t.Error("nil trial accepted")
+	}
+}
+
+// TestAdaptiveWorkerInvariance pins the reproducibility contract at the
+// acceptance criterion's worker counts: trials-consumed, counts, round
+// count, and stop reason are identical at 1, 2, and 7 workers — for a
+// converging run and for a budget-capped one.
+func TestAdaptiveWorkerInvariance(t *testing.T) {
+	configs := []AdaptiveConfig{
+		{MaxTrials: 200000, Seed: 7, Confidence: 0.99, TargetHalfWidth: 0.02},
+		// Relative target on a rare event: exhausts the budget.
+		{MaxTrials: 30000, Seed: 7, Confidence: 0.99, TargetRelErr: 0.01},
+	}
+	trials := []struct {
+		name  string
+		trial Trial
+	}{{"coin", coinTrial}, {"rare", rareTrial}}
+	for _, tr := range trials {
+		for ci, base := range configs {
+			var ref *AdaptiveResult
+			for _, workers := range []int{1, 2, 7} {
+				cfg := base
+				cfg.Workers = workers
+				res, err := EstimateAdaptive(context.Background(), cfg, tr.trial)
+				if err != nil {
+					t.Fatalf("%s/config %d workers=%d: %v", tr.name, ci, workers, err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if res.TrialsUsed() != ref.TrialsUsed() ||
+					res.Proportion.Successes() != ref.Proportion.Successes() ||
+					res.Rounds != ref.Rounds || res.StopReason != ref.StopReason {
+					t.Errorf("%s/config %d workers=%d diverged: trials %d vs %d, successes %d vs %d, rounds %d vs %d, reason %q vs %q",
+						tr.name, ci, workers,
+						res.TrialsUsed(), ref.TrialsUsed(),
+						res.Proportion.Successes(), ref.Proportion.Successes(),
+						res.Rounds, ref.Rounds, res.StopReason, ref.StopReason)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveTwoCellDemo is the acceptance criterion's 2-cell demo: the
+// easy p≈0.5 cell stops with ≥ 10× fewer trials than the fixed default,
+// the deep-tail cell converges too, and both meet the requested absolute
+// half-width.
+func TestAdaptiveTwoCellDemo(t *testing.T) {
+	const fixedDefault = 200000 // memrisk's fixed -trials default
+	const target = 0.02
+	for _, tc := range []struct {
+		name  string
+		trial Trial
+	}{{"easy p=0.5", coinTrial}, {"deep tail p=2^-10", rareTrial}} {
+		cfg := AdaptiveConfig{
+			MaxTrials: fixedDefault, Seed: 11, Confidence: 0.99, TargetHalfWidth: target,
+		}
+		res, err := EstimateAdaptive(context.Background(), cfg, tc.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.StopReason != StopConverged {
+			t.Fatalf("%s: stop reason %q, want converged", tc.name, res.StopReason)
+		}
+		if used := res.TrialsUsed(); used*10 > fixedDefault {
+			t.Errorf("%s: %d trials used, want ≥10× fewer than the fixed default %d",
+				tc.name, used, fixedDefault)
+		}
+		lo, hi, err := res.WilsonCI(cfg.Confidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if half := (hi - lo) / 2; half > target {
+			t.Errorf("%s: half-width %v exceeds the requested %v", tc.name, half, target)
+		}
+	}
+}
+
+// TestAdaptiveBudgetExhaustion: a relative-error target on a rare event
+// cannot converge inside the cap, and the result must say so — not come
+// back labeled converged.
+func TestAdaptiveBudgetExhaustion(t *testing.T) {
+	cfg := AdaptiveConfig{MaxTrials: 20000, Seed: 3, Confidence: 0.99, TargetRelErr: 0.001}
+	res, err := EstimateAdaptive(context.Background(), cfg, rareTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StopReason != StopBudget {
+		t.Fatalf("stop reason %q, want budget", res.StopReason)
+	}
+	if res.TrialsUsed() != cfg.MaxTrials {
+		t.Errorf("trials used %d, want the full budget %d", res.TrialsUsed(), cfg.MaxTrials)
+	}
+}
+
+// TestAdaptiveFixedEquivalence: an adaptive run that exhausts its budget
+// is bit-identical to the fixed harness at Trials = MaxTrials — for a
+// chunk-aligned cap and for one with a short final chunk.
+func TestAdaptiveFixedEquivalence(t *testing.T) {
+	for _, maxTrials := range []int{3 * 8192, 20000} {
+		cfg := AdaptiveConfig{MaxTrials: maxTrials, Seed: 5, Confidence: 0.99, TargetRelErr: 0.0001}
+		adaptive, err := EstimateAdaptive(context.Background(), cfg, rareTrial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive.StopReason != StopBudget {
+			t.Fatalf("max=%d: expected budget exhaustion, got %q", maxTrials, adaptive.StopReason)
+		}
+		fixed, err := EstimateProbability(context.Background(),
+			Config{Trials: maxTrials, Seed: 5}, rareTrial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if adaptive.Proportion.Trials() != fixed.Proportion.Trials() ||
+			adaptive.Proportion.Successes() != fixed.Proportion.Successes() {
+			t.Errorf("max=%d: adaptive %d/%d != fixed %d/%d", maxTrials,
+				adaptive.Proportion.Successes(), adaptive.Proportion.Trials(),
+				fixed.Proportion.Successes(), fixed.Proportion.Trials())
+		}
+	}
+}
+
+// TestAdaptiveMean covers the mean estimator: worker invariance of the
+// consumed trial count and convergence on a relative target.
+func TestAdaptiveMean(t *testing.T) {
+	sample := func(src *rng.Source) (float64, error) { return src.Float64(), nil }
+	var ref *AdaptiveMeanResult
+	for _, workers := range []int{1, 2, 7} {
+		cfg := AdaptiveConfig{
+			MaxTrials: 500000, Workers: workers, Seed: 9,
+			Confidence: 0.99, TargetRelErr: 0.01,
+		}
+		res, err := EstimateMeanAdaptive(context.Background(), cfg, sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StopReason != StopConverged {
+			t.Fatalf("workers=%d: stop reason %q", workers, res.StopReason)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if res.TrialsUsed() != ref.TrialsUsed() || res.Rounds != ref.Rounds ||
+			math.Float64bits(res.Summary.Mean()) != math.Float64bits(ref.Summary.Mean()) {
+			t.Errorf("workers=%d diverged: trials %d vs %d, mean %v vs %v",
+				workers, res.TrialsUsed(), ref.TrialsUsed(), res.Summary.Mean(), ref.Summary.Mean())
+		}
+	}
+	// The mean around 0.5 with stderr ≈ 0.29/√n: rel err 0.01 at 99%
+	// needs ≈ 22k samples, so the run must stop well short of the cap.
+	if ref.TrialsUsed() >= 500000 {
+		t.Errorf("adaptive mean consumed the whole cap (%d trials)", ref.TrialsUsed())
+	}
+}
+
+// TestAdaptiveCancellation: a canceled context surfaces as an error with
+// partial results, exactly like the fixed harness.
+func TestAdaptiveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := AdaptiveConfig{MaxTrials: 1 << 20, Seed: 1, Confidence: 0.99, TargetRelErr: 1e-9}
+	if _, err := EstimateAdaptive(ctx, cfg, coinTrial); err == nil {
+		t.Error("canceled run returned no error")
+	}
+}

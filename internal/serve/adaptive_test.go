@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestEstimatePrecisionBlock covers the optional adaptive-precision
+// block on POST /v1/estimate: it must run adaptively (trials_used,
+// rounds, stop_reason in the result cell), echo back in the request, get
+// its own cache entry, and leave precision-free bodies byte-identical to
+// the PR 3 goldens.
+func TestEstimatePrecisionBlock(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// The golden mc request, before and after an adaptive variant of it:
+	// precision-free bodies must stay pinned to the committed bytes.
+	base := `{"model":"SC","threads":2,"prefix_len":12,"estimator":"mc","trials":5000,"seed":3}`
+	adaptive := `{"model":"SC","threads":2,"prefix_len":12,"estimator":"mc","trials":5000,"seed":3,` +
+		`"precision":{"target_half_width":0.05}}`
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden_estimate_mc.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/estimate", base)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Fatalf("precision-free body diverged from golden\ngot:\n%s\nwant:\n%s", body, golden)
+	}
+
+	resp, adaptiveBody := post(t, ts.URL+"/v1/estimate", adaptive)
+	if resp.StatusCode != 200 {
+		t.Fatalf("adaptive status %d: %s", resp.StatusCode, adaptiveBody)
+	}
+	if resp.Header.Get("X-Cache") != "miss" {
+		t.Errorf("adaptive variant X-Cache = %q, want miss (its own cache entry)", resp.Header.Get("X-Cache"))
+	}
+	var out EstimateResponse
+	if err := json.Unmarshal(adaptiveBody, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Request.Precision == nil || out.Request.Precision.TargetHalfWidth != 0.05 {
+		t.Errorf("precision block not echoed: %+v", out.Request.Precision)
+	}
+	if out.Request.Precision != nil && out.Request.Precision.MaxTrials != 5000 {
+		t.Errorf("echoed MaxTrials = %d, want the normalized default 5000 (= trials)",
+			out.Request.Precision.MaxTrials)
+	}
+	if out.Result.StopReason == "" || out.Result.TrialsUsed == 0 || out.Result.Rounds == 0 {
+		t.Errorf("adaptive result cell carries no cost diagnostics: %+v", out.Result)
+	}
+
+	// Spelling the defaulted max_trials out must land on the same cache
+	// entry and return the identical bytes — the echo is normalized, so
+	// the body cannot depend on which variant computed first.
+	spelled := `{"model":"SC","threads":2,"prefix_len":12,"estimator":"mc","trials":5000,"seed":3,` +
+		`"precision":{"target_half_width":0.05,"max_trials":5000}}`
+	resp, spelledBody := post(t, ts.URL+"/v1/estimate", spelled)
+	if resp.StatusCode != 200 {
+		t.Fatalf("spelled-out status %d: %s", resp.StatusCode, spelledBody)
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("spelled-out variant X-Cache = %q, want hit (canonical key)", resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(spelledBody, adaptiveBody) {
+		t.Error("spelled-out and defaulted max_trials bodies differ")
+	}
+
+	// The precision-free request again: byte-identical, and a cache hit —
+	// the adaptive variant did not poison its entry.
+	resp, again := post(t, ts.URL+"/v1/estimate", base)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, again)
+	}
+	if !bytes.Equal(again, golden) {
+		t.Error("precision-free body changed after an adaptive request")
+	}
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Errorf("precision-free rerun X-Cache = %q, want hit", resp.Header.Get("X-Cache"))
+	}
+}
+
+// TestEstimatePrecisionRejections: malformed precision blocks are 400s,
+// decided by the estimator's canonical validation — not by a serve-side
+// re-implementation.
+func TestEstimatePrecisionRejections(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []string{
+		// No targets at all.
+		`{"model":"SC","estimator":"mc","trials":100,"precision":{}}`,
+		// Precision on a deterministic kind.
+		`{"model":"SC","threads":2,"estimator":"exact","precision":{"target_half_width":0.01}}`,
+		// Out-of-range target.
+		`{"model":"SC","estimator":"mc","trials":100,"precision":{"target_half_width":2}}`,
+		// Negative cap.
+		`{"model":"SC","estimator":"mc","trials":100,"precision":{"target_rel_err":0.1,"max_trials":-5}}`,
+		// Unknown field inside the block (strict decode).
+		`{"model":"SC","estimator":"mc","trials":100,"precision":{"half_width":0.01}}`,
+	}
+	for _, body := range cases {
+		resp, data := post(t, ts.URL+"/v1/estimate", body)
+		if resp.StatusCode != 400 {
+			t.Errorf("body %s: status %d (want 400): %s", body, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestSweepPrecisionSpec: the async sweep endpoint accepts a precision
+// block in its spec and the finished artifact records per-cell costs.
+func TestSweepPrecisionSpec(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	spec := `{"models":["SC"],"threads":[2],"prefix_lens":[12],"estimators":["mc"],` +
+		`"trials":100000,"seed":5,"precision":{"target_half_width":0.02}}`
+	resp, body := post(t, ts.URL+"/v1/sweeps", spec)
+	if resp.StatusCode != 202 && resp.StatusCode != 200 {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var status JobStatus
+	if err := json.Unmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := srv.jobs.Status(status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateDone {
+			break
+		}
+		if st.State == StateFailed || st.State == StateCanceled {
+			t.Fatalf("job state %q: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	artifact, jobStatus, err := srv.jobs.Artifact(status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobStatus.State != StateDone {
+		t.Fatalf("job state %q: %s", jobStatus.State, jobStatus.Error)
+	}
+	var art struct {
+		Cells []struct {
+			TrialsUsed int    `json:"trials_used"`
+			StopReason string `json:"stop_reason"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(artifact, &art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Cells) != 1 {
+		t.Fatalf("cells = %d, want 1", len(art.Cells))
+	}
+	if art.Cells[0].StopReason == "" || art.Cells[0].TrialsUsed == 0 {
+		t.Errorf("adaptive sweep cell carries no cost diagnostics: %+v", art.Cells[0])
+	}
+}

@@ -8,11 +8,17 @@ import (
 // lruCache is a bounded, thread-safe LRU map from canonical request keys
 // to encoded response bodies. Values are the exact bytes written to
 // clients, so a hit is byte-identical to the miss that populated it.
+//
+// A nonpositive max disables the cache explicitly: Add is a no-op and
+// Get always misses. (The previous behavior — insert, then immediately
+// evict the entry just inserted because Len() > 0 — turned every request
+// into a miss AND churned the singleflight group on each one.)
 type lruCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List
-	items map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	disabled bool
+	ll       *list.List
+	items    map[string]*list.Element
 }
 
 // lruEntry is one cache slot.
@@ -21,8 +27,12 @@ type lruEntry struct {
 	val []byte
 }
 
-// newLRUCache returns an empty cache holding at most max entries.
+// newLRUCache returns an empty cache holding at most max entries. A
+// nonpositive max returns a disabled cache that stores nothing.
 func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		return &lruCache{disabled: true, ll: list.New()}
+	}
 	return &lruCache{
 		max:   max,
 		ll:    list.New(),
@@ -44,10 +54,13 @@ func (c *lruCache) Get(key string) ([]byte, bool) {
 
 // Add stores val under key, evicting the least recently used entry when
 // the cache is full. Storing an existing key refreshes its value and
-// recency.
+// recency. On a disabled cache it stores nothing.
 func (c *lruCache) Add(key string, val []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.disabled {
+		return
+	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*lruEntry).val = val

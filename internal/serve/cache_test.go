@@ -43,6 +43,30 @@ func TestLRUUpdateExisting(t *testing.T) {
 	}
 }
 
+// TestLRUDisabled is the regression test for the nonpositive-max bug:
+// newLRUCache(0) used to insert each entry and then immediately evict it
+// (Len() > max holds for any insertion), so every request missed and
+// churned the singleflight group. A nonpositive max must mean
+// "explicitly disabled": store nothing, never panic.
+func TestLRUDisabled(t *testing.T) {
+	for _, max := range []int{0, -1} {
+		c := newLRUCache(max)
+		c.Add("a", []byte("1"))
+		if _, ok := c.Get("a"); ok {
+			t.Errorf("max=%d: disabled cache returned a hit", max)
+		}
+		if c.Len() != 0 {
+			t.Errorf("max=%d: disabled cache holds %d entries", max, c.Len())
+		}
+		// Repeated adds must stay no-ops, not accumulate or evict-churn.
+		c.Add("a", []byte("2"))
+		c.Add("b", []byte("3"))
+		if c.Len() != 0 {
+			t.Errorf("max=%d: disabled cache grew to %d entries", max, c.Len())
+		}
+	}
+}
+
 func TestLRUConcurrent(t *testing.T) {
 	c := newLRUCache(8)
 	done := make(chan struct{})

@@ -382,6 +382,14 @@ type EstimateRequest struct {
 	// Confidence is the Wilson-interval level of mc results; omitted
 	// (or zero) selects the default 0.99. Other estimators ignore it.
 	Confidence float64 `json:"confidence,omitempty"`
+	// Precision, when present, switches the mc/hybrid estimator to
+	// adaptive-precision sampling: trials run in deterministic rounds
+	// until the interval meets target_half_width and/or target_rel_err,
+	// capped at max_trials (0 = the trials field). The result then
+	// carries trials_used, rounds, and stop_reason. Requests without a
+	// precision block keep their exact historical bytes (omitempty), and
+	// precision participates in the canonical cache key.
+	Precision *estimator.Precision `json:"precision,omitempty"`
 }
 
 // defaultEstimateRequest is the decode base with the paper's defaults
@@ -412,6 +420,7 @@ func (req EstimateRequest) query() estimator.Query {
 		Trials:     req.Trials,
 		Seed:       req.Seed,
 		Confidence: req.Confidence,
+		Precision:  req.Precision,
 	}
 }
 
@@ -446,6 +455,15 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Estimator = sweep.Kind(strings.ToLower(string(req.Estimator)))
 	req.Model = canonicalModelName(req.Model)
+	// Canonicalize the precision echo like the model name: the cache is
+	// keyed by the normalized query (MaxTrials defaulted from trials),
+	// so requests spelling the default out and omitting it share one
+	// entry — the echoed body must therefore be the normalized form, or
+	// the bytes a given request receives would depend on which variant
+	// populated the cache first.
+	if req.Precision != nil && req.Precision.MaxTrials == 0 {
+		req.Precision.MaxTrials = req.Trials
+	}
 	if req.Estimator == sweep.WindowDist {
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("%w: estimator windowdist has its own endpoint, POST /v1/windowdist", ErrBadRequest))

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // ErrBadInput reports statistically invalid input (empty samples, negative
@@ -181,9 +182,25 @@ func (p *Proportion) Contains(v, level float64) (bool, error) {
 	return v >= lo && v <= hi, nil
 }
 
+// zScoreMemo caches bisection results per confidence level, so
+// non-tabulated levels pay the 200-iteration solve once per process
+// instead of once per interval (adaptive stopping evaluates an interval
+// every round). The memo is bounded: confidence levels reach services
+// from client requests, and an unbounded map keyed by client-controlled
+// floats would be a slow memory leak in a long-running daemon. Beyond
+// the cap new levels simply recompute.
+var (
+	zScoreMu   sync.RWMutex
+	zScoreMemo = make(map[float64]float64)
+)
+
+// zScoreMemoMax bounds the memo's entry count.
+const zScoreMemoMax = 1024
+
 // zScore returns the two-sided standard-normal quantile for a confidence
 // level. Common levels are tabulated exactly; others are computed by
-// bisection on the error function.
+// bisection on the error function and memoized — the memoized value is
+// bit-identical to a fresh bisection, since the solve is deterministic.
 func zScore(level float64) (float64, error) {
 	if !(level > 0 && level < 1) {
 		return 0, fmt.Errorf("%w: confidence level %v not in (0,1)", ErrBadInput, level)
@@ -198,7 +215,25 @@ func zScore(level float64) (float64, error) {
 	case 0.999:
 		return 3.2905267314918945, nil
 	}
-	// Solve Φ(z) = (1+level)/2 by bisection; Φ(z) = (1+erf(z/√2))/2.
+	zScoreMu.RLock()
+	z, ok := zScoreMemo[level]
+	zScoreMu.RUnlock()
+	if ok {
+		return z, nil
+	}
+	z = zScoreBisect(level)
+	zScoreMu.Lock()
+	if len(zScoreMemo) < zScoreMemoMax {
+		zScoreMemo[level] = z
+	}
+	zScoreMu.Unlock()
+	return z, nil
+}
+
+// zScoreBisect solves Φ(z) = (1+level)/2 by bisection;
+// Φ(z) = (1+erf(z/√2))/2. Deterministic, so memoizing its result is
+// lossless.
+func zScoreBisect(level float64) float64 {
 	target := (1 + level) / 2
 	lo, hi := 0.0, 40.0
 	for i := 0; i < 200; i++ {
@@ -209,7 +244,7 @@ func zScore(level float64) (float64, error) {
 			hi = mid
 		}
 	}
-	return (lo + hi) / 2, nil
+	return (lo + hi) / 2
 }
 
 // ChiSquare performs Pearson's chi-square goodness-of-fit test of observed

@@ -173,6 +173,38 @@ func TestZScoreBisectionMatchesTable(t *testing.T) {
 	}
 }
 
+// TestZScoreMemoBitIdentical pins the memoization contract: the value
+// zScore returns for a non-tabulated level — first call (fresh
+// bisection) and every call after (memo hit) — is bit-identical to a
+// direct bisection. Adaptive stopping calls zScore once per round, so a
+// drifting memo would silently change stopping decisions.
+func TestZScoreMemoBitIdentical(t *testing.T) {
+	for _, level := range []float64{0.97, 0.8, 0.9973002039367398} {
+		fresh := zScoreBisect(level)
+		first, err := zScore(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memo, err := zScore(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(first) != math.Float64bits(fresh) ||
+			math.Float64bits(memo) != math.Float64bits(fresh) {
+			t.Errorf("level %v: fresh %x, first %x, memoized %x — not bit-identical",
+				level, math.Float64bits(fresh), math.Float64bits(first), math.Float64bits(memo))
+		}
+	}
+	// Tabulated levels bypass both the memo and the bisection.
+	z, err := zScore(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z != 2.5758293035489004 {
+		t.Errorf("tabulated zScore(0.99) = %v", z)
+	}
+}
+
 func TestChiSquareUniformFit(t *testing.T) {
 	src := rng.New(81)
 	const n, buckets = 60000, 6

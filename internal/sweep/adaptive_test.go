@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"memreliability/internal/estimator"
+)
+
+// adaptiveSpec is a mixed-kind grid (deterministic exact cells next to
+// adaptive mc/hybrid cells) with a loose absolute target that converges
+// fast on easy cells.
+func adaptiveSpec() Spec {
+	spec := DefaultSpec()
+	spec.Models = []string{"SC", "TSO"}
+	spec.Threads = []int{2}
+	spec.PrefixLens = []int{12}
+	spec.Estimators = []Kind{Exact, FullMC, Hybrid}
+	spec.Trials = 100000
+	spec.Seed = 17
+	spec.Precision = &estimator.Precision{TargetHalfWidth: 0.02}
+	return spec
+}
+
+// TestAdaptiveSweepArtifact: adaptive mc/hybrid cells record their
+// per-cell cost (trials_used, rounds, stop_reason); deterministic cells
+// in the same grid stay untouched; easy cells spend far less than the
+// fixed budget.
+func TestAdaptiveSweepArtifact(t *testing.T) {
+	spec := adaptiveSpec()
+	art, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range art.Cells {
+		adaptive := c.Estimator.NeedsTrials()
+		if adaptive {
+			if c.StopReason == "" || c.TrialsUsed == 0 || c.Rounds == 0 {
+				t.Errorf("cell %d (%s): adaptive cost not recorded: %+v", c.Index, c.Estimator, c)
+			}
+			if c.StopReason == string(estimator.StopConverged) && c.TrialsUsed >= spec.Trials {
+				t.Errorf("cell %d (%s): converged yet spent the whole fixed budget (%d trials)",
+					c.Index, c.Estimator, c.TrialsUsed)
+			}
+		} else if c.StopReason != "" || c.TrialsUsed != 0 || c.Rounds != 0 {
+			t.Errorf("cell %d (%s): deterministic cell carries adaptive fields: %+v",
+				c.Index, c.Estimator, c)
+		}
+	}
+}
+
+// TestAdaptiveSweepWorkerInvariance: adaptive artifacts inherit the
+// engine's byte-reproducibility — identical bytes at 1, 2, and 7
+// workers, trials-consumed included.
+func TestAdaptiveSweepWorkerInvariance(t *testing.T) {
+	var ref []byte
+	for _, workers := range []int{1, 2, 7} {
+		spec := adaptiveSpec()
+		spec.Workers = workers
+		art, err := Run(context.Background(), spec, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := art.EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), ref) {
+			t.Errorf("workers=%d: adaptive artifact bytes diverged", workers)
+		}
+	}
+}
+
+// TestAdaptiveSpecNormalization: the spec-level precision block clones
+// and fills MaxTrials exactly like a query's, so spelled-out and
+// defaulted specs share a content address.
+func TestAdaptiveSpecNormalization(t *testing.T) {
+	spec := adaptiveSpec()
+	norm := spec.Normalized()
+	if norm.Precision.MaxTrials != spec.Trials {
+		t.Errorf("normalized MaxTrials = %d, want %d", norm.Precision.MaxTrials, spec.Trials)
+	}
+	if spec.Precision.MaxTrials != 0 {
+		t.Error("Normalized mutated the caller's precision block")
+	}
+
+	bad := adaptiveSpec()
+	bad.Precision = &estimator.Precision{}
+	if err := bad.Normalized().Validate(); err == nil {
+		t.Error("target-less precision block passed spec validation")
+	}
+}

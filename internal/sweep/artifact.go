@@ -100,6 +100,9 @@ func (c CellResult) EstimatorResult() estimator.Result {
 		StdErr:      c.StdErr,
 		Dist:        c.Dist,
 		ElapsedMS:   c.ElapsedMS,
+		TrialsUsed:  c.TrialsUsed,
+		Rounds:      c.Rounds,
+		StopReason:  c.StopReason,
 	}
 }
 

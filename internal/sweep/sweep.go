@@ -96,6 +96,14 @@ type Spec struct {
 	// MaxGamma bounds the tabulated support of windowdist cells. Zero
 	// tabulates only γ=0; DefaultSpec gives 8.
 	MaxGamma int `json:"max_gamma"`
+	// Precision, when set, switches every trial-consuming cell (mc,
+	// hybrid) to adaptive-precision sampling: each cell stops as soon as
+	// its confidence interval meets the targets, or at the trial budget
+	// cap (MaxTrials; 0 defaults to Trials). Deterministic cells ignore
+	// it. Adaptive artifacts record per-cell trials_used, rounds, and
+	// stop_reason; fixed-trials artifacts (nil Precision) keep their
+	// exact historical bytes.
+	Precision *estimator.Precision `json:"precision,omitempty"`
 }
 
 // DefaultSpec returns a Spec pre-filled with the paper's normal-form
@@ -133,6 +141,16 @@ func (s Spec) Normalized() Spec {
 	}
 	if len(out.Estimators) == 0 {
 		out.Estimators = []Kind{Hybrid}
+	}
+	if s.Precision != nil {
+		// Clone and fill the MaxTrials default, exactly as the estimator
+		// normalizes a query's precision block — so specs differing only
+		// in spelling the default out hash to the same content address.
+		p := *s.Precision
+		if p.MaxTrials == 0 {
+			p.MaxTrials = s.Trials
+		}
+		out.Precision = &p
 	}
 	return out
 }
@@ -178,6 +196,11 @@ func (s Spec) Validate() error {
 	}
 	if s.MaxGamma < 0 {
 		return fmt.Errorf("%w: max gamma %d", ErrBadSpec, s.MaxGamma)
+	}
+	if s.Precision != nil {
+		if err := s.Precision.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
 	}
 	return nil
 }
@@ -257,6 +280,15 @@ type CellResult struct {
 	// ElapsedMS is wall-clock cell time; populated only when timing is
 	// requested, because it breaks byte-level artifact reproducibility.
 	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+
+	// TrialsUsed, Rounds, and StopReason are recorded only for cells
+	// estimated adaptively (a spec with a Precision block): the trials
+	// the cell actually consumed, the sampling rounds it took, and
+	// whether it converged or exhausted the budget cap. Fixed-trials
+	// cells leave them zero, keeping historical artifacts byte-identical.
+	TrialsUsed int    `json:"trials_used,omitempty"`
+	Rounds     int    `json:"rounds,omitempty"`
+	StopReason string `json:"stop_reason,omitempty"`
 }
 
 // Options tunes a Run without affecting its results.
@@ -287,20 +319,15 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Artifact, error) {
 	if budget == 0 {
 		budget = runtime.GOMAXPROCS(0)
 	}
-	workers := budget
-	if workers > len(cells) {
-		workers = len(cells)
-	}
 	// Split the budget across the two parallelism layers instead of
 	// multiplying it: cells share the pool, and each cell's inner Monte
-	// Carlo gets the leftover slice. A single-cell grid (the memrisk
+	// Carlo gets the leftover slice — remainder included, so the slices
+	// always sum to the full budget. A single-cell grid (the memrisk
 	// case) gets the whole budget inside the cell; a wide grid runs its
 	// cells single-streamed. Results are unaffected either way — the mc
 	// harness is deterministic in (seed, trials).
-	innerWorkers := budget / workers
-	if innerWorkers < 1 {
-		innerWorkers = 1
-	}
+	inner := estimator.SplitWorkerBudget(budget, len(cells))
+	workers := len(inner)
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -316,7 +343,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Artifact, error) {
 		go func(w int) {
 			defer wg.Done()
 			for idx := range jobs {
-				res, err := runCell(runCtx, norm, cells[idx], seeds[idx], innerWorkers, opts.Timing)
+				res, err := runCell(runCtx, norm, cells[idx], seeds[idx], inner[w], opts.Timing)
 				if err != nil {
 					errs[w] = err
 					cancel()
@@ -384,7 +411,7 @@ feed:
 // reproducing cell i outside the engine requires that same derivation,
 // not a bare Estimate of this query.
 func (s Spec) Query(cell Cell) estimator.Query {
-	return estimator.Query{
+	q := estimator.Query{
 		Kind:       cell.Estimator,
 		Model:      cell.Model,
 		Threads:    cell.Threads,
@@ -396,14 +423,23 @@ func (s Spec) Query(cell Cell) estimator.Query {
 		Confidence: estimator.DefaultConfidence,
 		MaxGamma:   s.MaxGamma,
 	}
+	// The precision block applies only to cells that consume trials;
+	// attaching it to a deterministic cell would (correctly) fail the
+	// query's canonical validation inside a mixed-kind grid.
+	if s.Precision != nil && cell.Estimator.NeedsTrials() {
+		p := *s.Precision
+		q.Precision = &p
+	}
+	return q
 }
 
 // CellResultOf shapes a dispatched estimator result as the artifact
 // cell for the given grid coordinates. It is the single conversion
-// point shared with the serve API. The artifact schema's field set is
-// frozen for byte compatibility: unified-result diagnostics that
-// postdate it (Confidence, ProductExpectation, TrialsUsed) are not
-// persisted.
+// point shared with the serve API. The fixed-trials artifact schema's
+// field set is frozen for byte compatibility: unified-result diagnostics
+// that postdate it (Confidence, ProductExpectation, TrialsUsed) are
+// persisted only when they carry information a fixed run cannot — a
+// non-default Wilson level, or the per-cell cost of an adaptive run.
 func CellResultOf(cell Cell, res estimator.Result) CellResult {
 	// Only a non-default Wilson level is worth recording; the default is
 	// elided to keep artifact bytes identical to the pre-Confidence
@@ -412,7 +448,7 @@ func CellResultOf(cell Cell, res estimator.Result) CellResult {
 	if confidence == estimator.DefaultConfidence {
 		confidence = 0
 	}
-	return CellResult{
+	out := CellResult{
 		Cell:        cell,
 		Skipped:     res.Skipped,
 		Note:        res.Note,
@@ -426,6 +462,15 @@ func CellResultOf(cell Cell, res estimator.Result) CellResult {
 		Dist:        res.Dist,
 		ElapsedMS:   res.ElapsedMS,
 	}
+	// Adaptive cells persist their cost: for a fixed-trials cell the
+	// count is just the spec's Trials, and writing it would break the
+	// historical golden bytes.
+	if res.StopReason != "" {
+		out.TrialsUsed = res.TrialsUsed
+		out.Rounds = res.Rounds
+		out.StopReason = res.StopReason
+	}
+	return out
 }
 
 // runCell evaluates one cell on its private RNG substream by dispatching

@@ -79,6 +79,25 @@ type Kind = estimator.Kind
 // progress callback) without affecting its results.
 type BatchOptions = estimator.BatchOptions
 
+// Precision requests adaptive-precision estimation on a Query (set
+// Query.Precision): Monte Carlo runs in deterministic chunk-aligned
+// rounds until the confidence interval meets the configured absolute
+// half-width and/or relative-error target, capped at MaxTrials (0 =
+// Query.Trials). The result's TrialsUsed, Rounds, and StopReason record
+// the cost and whether the targets were met (StopConverged) or the
+// budget ran out (StopBudget). Trials-consumed is itself deterministic
+// in the query — worker counts never change it.
+type Precision = estimator.Precision
+
+// QueryResult.StopReason values for adaptive queries.
+const (
+	// StopConverged: every requested precision target was met.
+	StopConverged = estimator.StopConverged
+	// StopBudget: MaxTrials ran out before the targets held; the
+	// estimate has NOT reached the requested precision.
+	StopBudget = estimator.StopBudget
+)
+
 // DefaultConfidence is the Wilson-interval level used when a Query
 // leaves Confidence at zero.
 const DefaultConfidence = estimator.DefaultConfidence
