@@ -1,11 +1,40 @@
-# Targets mirror .github/workflows/ci.yml step for step, so local runs and
-# CI stay in lockstep.
+# Targets mirror .github/workflows/ci.yml step for step: every workflow
+# step that exercises the module runs `make <target>`, and
+# scripts/check_ci_sync.sh (run by `lint`) fails the build when the
+# workflow's target set and the `ci` aggregate below drift apart.
 
 GO ?= go
 
-.PHONY: all build test bench bench-adaptive lint smoke-serve vuln ci
+# Pinned staticcheck (2025.1.1); CI installs exactly this version.
+STATICCHECK_VERSION ?= v0.6.1
+
+.PHONY: all build test bench bench-adaptive bench-compare staticcheck staticcheck-install lint smoke-serve vuln ci
 
 all: ci
+
+# staticcheck-install fetches the pinned linter; CI runs it before the
+# staticcheck step so the version is pinned in exactly one place (above).
+# Needs network, so it is deliberately NOT part of the `ci` aggregate.
+staticcheck-install:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+
+lint:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) vet ./examples/...
+	./scripts/check_ci_sync.sh
+
+# staticcheck runs the pinned linter when the tool is available
+# (CI installs it; offline dev machines skip with a notice).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -24,16 +53,15 @@ bench:
 bench-adaptive:
 	$(GO) test -bench=AdaptivePrecision -benchtime=1x -run='^$$'
 
+# bench-compare is the perf-regression gate: run the canonical
+# cmd/membench suite, emit BENCH_new.json, and compare it against the
+# committed BENCH_baseline.json with the CI tolerances — fail on >2x
+# ns/op growth, or on ANY allocs/op growth on zero-alloc scenarios.
+bench-compare:
+	$(GO) run ./cmd/membench -rev new -o BENCH_new.json -baseline BENCH_baseline.json
+
 smoke-serve:
 	./scripts/smoke_serve.sh
-
-lint:
-	@out=$$(gofmt -l .); \
-	if [ -n "$$out" ]; then \
-		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
-	fi
-	$(GO) vet ./...
-	$(GO) vet ./examples/...
 
 # vuln scans the module with govulncheck when the tool is available
 # (CI installs it; offline dev machines skip with a notice).
@@ -44,4 +72,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: lint build test bench bench-adaptive smoke-serve vuln
+ci: lint staticcheck build test bench bench-adaptive bench-compare smoke-serve vuln

@@ -1,0 +1,122 @@
+// membench runs the canonical performance suite (internal/perf) and
+// emits the schema-versioned BENCH_<rev>.json artifact; with -baseline
+// it doubles as the perf-regression gate, comparing the fresh record
+// against a committed baseline and exiting non-zero on regression. CI's
+// bench-regression job and `make bench-compare` are exactly:
+//
+//	membench -rev new -o BENCH_new.json -baseline BENCH_baseline.json
+//
+// Refreshing the committed baseline is a deliberate act:
+//
+//	membench -rev baseline -o BENCH_baseline.json
+//
+// Usage:
+//
+//	membench -o BENCH_dev.json                       # run suite, write record
+//	membench -list                                   # print scenario ids
+//	membench -compare-only -baseline OLD -o NEW      # diff two records, no run
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"memreliability/internal/perf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintf(os.Stderr, "membench: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// errRegression marks a gate failure that has already been reported via
+// the comparison table.
+var errRegression = errors.New("membench: performance regression")
+
+func run(args []string, out, progress io.Writer) error {
+	fs := flag.NewFlagSet("membench", flag.ContinueOnError)
+	fs.SetOutput(progress)
+	rev := fs.String("rev", "dev", "revision label stamped into the record (names the default output file)")
+	outPath := fs.String("o", "", "output record path (default BENCH_<rev>.json)")
+	baseline := fs.String("baseline", "", "baseline record to compare against; regressions exit non-zero")
+	compareOnly := fs.Bool("compare-only", false, "do not run the suite; compare -baseline against the existing -o file")
+	list := fs.Bool("list", false, "print the suite's scenario ids and exit")
+	benchtime := fs.String("benchtime", "", "per-scenario measurement budget (Go benchtime syntax, e.g. 0.5s or 10x; default 1s)")
+	maxNsRatio := fs.Float64("max-ns-ratio", perf.DefaultMaxNsRatio, "fail when a scenario's ns/op grows beyond this ratio of the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	if *list {
+		for _, s := range perf.Suite() {
+			fmt.Fprintf(out, "%-34s %s\n", s.ID, s.Description)
+		}
+		return nil
+	}
+
+	if *outPath == "" {
+		*outPath = "BENCH_" + *rev + ".json"
+	}
+
+	var fresh *perf.Record
+	if *compareOnly {
+		if *baseline == "" {
+			return errors.New("-compare-only needs -baseline")
+		}
+		var err error
+		if fresh, err = perf.ReadFile(*outPath); err != nil {
+			return err
+		}
+	} else {
+		if *benchtime != "" {
+			// Route the budget to testing.Benchmark through the standard
+			// benchtime flag, which testing.Init registers.
+			testing.Init()
+			if err := flag.CommandLine.Set("test.benchtime", *benchtime); err != nil {
+				return fmt.Errorf("bad -benchtime: %w", err)
+			}
+		}
+		fmt.Fprintf(progress, "running %d scenarios (go %s)\n", len(perf.Suite()), perf.NewRecord("").GoVersion)
+		fresh = perf.RunSuite(*rev, func(res perf.ScenarioResult) {
+			fmt.Fprintf(progress, "  %-34s %14.0f ns/op %8.0f allocs/op", res.ID, res.NsPerOp, res.AllocsPerOp)
+			if res.TrialsPerSec > 0 {
+				fmt.Fprintf(progress, " %14.0f trials/s", res.TrialsPerSec)
+			}
+			fmt.Fprintln(progress)
+		})
+		if err := perf.WriteFile(*outPath, fresh); err != nil {
+			return err
+		}
+		fmt.Fprintf(progress, "wrote %s\n", *outPath)
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	base, err := perf.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	report, err := perf.Compare(base, fresh, perf.Tolerances{MaxNsRatio: *maxNsRatio})
+	if err != nil {
+		return err
+	}
+	if err := report.WriteText(out); err != nil {
+		return err
+	}
+	if report.Regressed() {
+		return errRegression
+	}
+	return nil
+}

@@ -96,23 +96,30 @@ func run(ctx context.Context, args []string, out, progress io.Writer) error {
 		spec.StoreProb = *storeProb
 		spec.SwapProb = *swapProb
 		spec.MaxGamma = *maxGamma
-		// Any nonzero target — negative or NaN included — builds the
-		// block, so bad values fail spec validation instead of silently
-		// selecting fixed-trials mode.
-		if *ciHalf != 0 || *ciRelErr != 0 {
-			spec.Precision = &estimator.Precision{
-				TargetHalfWidth: *ciHalf,
-				TargetRelErr:    *ciRelErr,
-				MaxTrials:       *maxTrials,
-			}
-		} else if *maxTrials != 0 {
-			return fmt.Errorf("-max-trials needs -ci-halfwidth or -ci-relerr")
-		}
 	}
 	if *workers != 0 {
 		// Only override the spec file's worker budget when the flag was
 		// actually given a value; either way results are unaffected.
 		spec.Workers = *workers
+	}
+	// The precision flags apply to flag-built and spec-file runs alike
+	// (a target flag replaces the spec's precision block wholesale), so
+	// the CLI can never silently fall back to fixed-trials mode. Any
+	// nonzero target — negative or NaN included — builds the block, so
+	// bad values fail spec validation instead of being dropped.
+	if *ciHalf != 0 || *ciRelErr != 0 {
+		spec.Precision = &estimator.Precision{
+			TargetHalfWidth: *ciHalf,
+			TargetRelErr:    *ciRelErr,
+			MaxTrials:       *maxTrials,
+		}
+	} else if *maxTrials != 0 {
+		if spec.Precision == nil {
+			return fmt.Errorf("-max-trials needs -ci-halfwidth or -ci-relerr (or a spec with a precision block)")
+		}
+		p := *spec.Precision
+		p.MaxTrials = *maxTrials
+		spec.Precision = &p
 	}
 
 	total := len(spec.Normalized().Expand())

@@ -89,6 +89,26 @@ func TestRunAdaptiveFlags(t *testing.T) {
 	}
 }
 
+// TestRunAdaptiveFlagsOverrideSpec: the precision flags must apply to
+// spec-file runs too — silently ignoring them would report fixed-trials
+// results as if they had met a CI target.
+func TestRunAdaptiveFlagsOverrideSpec(t *testing.T) {
+	var sb strings.Builder
+	err := run(context.Background(),
+		[]string{"-spec", filepath.Join("testdata", "spec.json"),
+			"-ci-halfwidth", "0.05", "-quiet", "-format", "json"},
+		&sb, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"precision"`, `"target_half_width": 0.05`, `"stop_reason"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spec+flags artifact missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunRejectsOrphanMaxTrials(t *testing.T) {
 	var sb strings.Builder
 	err := run(context.Background(),

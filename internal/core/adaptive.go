@@ -3,10 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
-	"math"
 
 	"memreliability/internal/mc"
-	"memreliability/internal/rng"
 	"memreliability/internal/shift"
 )
 
@@ -19,13 +17,11 @@ import (
 // invariant, and bit-identical to the fixed-trials route when the budget
 // is exhausted.
 func EstimateNoBugProbAdaptive(ctx context.Context, cfg Config, acfg mc.AdaptiveConfig) (*mc.AdaptiveResult, error) {
-	if err := cfg.Validate(); err != nil {
+	batch, err := cfg.NoBugBatch()
+	if err != nil {
 		return nil, err
 	}
-	return mc.EstimateAdaptive(ctx, acfg, func(src *rng.Source) (bool, error) {
-		manifested, err := cfg.ManifestTrial(src)
-		return !manifested, err
-	})
+	return mc.EstimateAdaptiveBatch(ctx, acfg, batch)
 }
 
 // HybridAdaptiveResult is the outcome of an adaptive Theorem 6.1 hybrid
@@ -62,39 +58,22 @@ func HybridPrAAdaptive(ctx context.Context, cfg Config, acfg mc.AdaptiveConfig) 
 		}
 		acfg.TargetHalfWidth /= k
 	}
-	sum, err := mc.EstimateMeanAdaptive(ctx, acfg, cfg.ProductTrial)
+	batch, err := cfg.ProductBatch()
 	if err != nil {
 		return nil, err
 	}
-	expectation := sum.Summary.Mean()
-	if expectation <= 0 {
-		return nil, fmt.Errorf("%w: product expectation estimate %v not positive "+
-			"(raise the trial budget cap)", ErrBadConfig, expectation)
-	}
-	prA, err := shift.Theorem61(cfg.Threads, expectation)
+	sum, err := mc.EstimateMeanAdaptiveBatch(ctx, acfg, batch)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	// Recompute in log space for the deep-tail regime, exactly as
-	// HybridPrA does.
-	n := cfg.Threads
-	c, err := shift.CorollaryC(n)
+	res, err := hybridResultFrom(cfg, sum.Summary.Mean(), sum.Summary.StdErr())
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	logPrA := math.Log(c) -
-		float64(n+1)*float64(n)/2*math.Ln2 +
-		logFactorial(n) +
-		math.Log(expectation)
 	return &HybridAdaptiveResult{
-		HybridResult: HybridResult{
-			PrA:                prA,
-			LogPrA:             logPrA,
-			ProductExpectation: expectation,
-			StdErr:             sum.Summary.StdErr(),
-		},
-		TrialsUsed: sum.TrialsUsed(),
-		Rounds:     sum.Rounds,
-		StopReason: sum.StopReason,
+		HybridResult: *res,
+		TrialsUsed:   sum.TrialsUsed(),
+		Rounds:       sum.Rounds,
+		StopReason:   sum.StopReason,
 	}, nil
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"memreliability/internal/mc"
+	"memreliability/internal/rng"
+	"memreliability/internal/shift"
+)
+
+// This file ports the joined-model trials to the mc batch interface —
+// the harness's zero-allocation hot path. A batch constructor validates
+// the configuration and builds the settle options once, and each batch
+// call reuses one segments buffer across its whole chunk, so the
+// per-trial overhead of the closure route (validation, option
+// construction, a fresh segments slice) is paid once per chunk instead
+// of once per trial. RNG consumption is routed through the same
+// sampleSegmentsInto routine the closures use, so batch and closure
+// estimates are bit-identical for the same (seed, trials).
+
+// productOf computes Π_{i=1}^{n-1} 2^-i·Γᵢ — the Theorem 6.1 expectation
+// integrand — from one draw of segment lengths, in log space.
+func productOf(segments []int) float64 {
+	logProduct := 0.0
+	for i := 1; i <= len(segments)-1; i++ {
+		logProduct += -float64(i) * float64(segments[i-1]) * math.Ln2
+	}
+	return math.Exp(logProduct)
+}
+
+// NoBugBatch returns the batched form of the full joined-process trial:
+// out[i] reports whether the bug did NOT manifest (the event A) on the
+// i-th trial. The returned batch is safe for the harness's concurrent
+// per-chunk calls — all captured state is immutable, and the reused
+// segments buffer is local to each call.
+func (c Config) NoBugBatch() (mc.BatchTrial, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := c.settleOptions()
+	if err != nil {
+		return nil, err
+	}
+	cfg := c
+	return func(src *rng.Source, out []bool) error {
+		segments := make([]int, cfg.Threads)
+		for i := range out {
+			if err := cfg.sampleSegmentsInto(opts, segments, src); err != nil {
+				return err
+			}
+			disjoint, err := shift.DisjointTrial(segments, src)
+			if err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			out[i] = disjoint
+		}
+		return nil
+	}, nil
+}
+
+// ProductBatch returns the batched form of the Theorem 6.1 product
+// trial: out[i] is one sample of Π_{i=1}^{n-1} 2^-i·Γᵢ from a fresh
+// joined-process draw. Concurrency contract as NoBugBatch.
+func (c Config) ProductBatch() (mc.BatchMean, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opts, err := c.settleOptions()
+	if err != nil {
+		return nil, err
+	}
+	cfg := c
+	return func(src *rng.Source, out []float64) error {
+		segments := make([]int, cfg.Threads)
+		for i := range out {
+			if err := cfg.sampleSegmentsInto(opts, segments, src); err != nil {
+				return err
+			}
+			out[i] = productOf(segments)
+		}
+		return nil
+	}, nil
+}

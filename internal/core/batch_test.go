@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+// TestNoBugBatchMatchesClosure checks the batched joined-process trial
+// against the per-trial route on one shared substream: trial for trial,
+// the booleans must be identical.
+func TestNoBugBatchMatchesClosure(t *testing.T) {
+	cfg := Config{Model: memmodel.TSO(), Threads: 3, PrefixLen: 16, StoreProb: 0.5, SwapProb: 0.5}
+	batch, err := cfg.NoBugBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 400
+	batchSrc, closureSrc := rng.New(5), rng.New(5)
+	out := make([]bool, trials)
+	if err := batch(batchSrc, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		manifested, err := cfg.ManifestTrial(closureSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != !manifested {
+			t.Fatalf("trial %d: batch=%v closure no-bug=%v", i, out[i], !manifested)
+		}
+	}
+}
+
+// TestProductBatchMatchesClosure is the same check for the Theorem 6.1
+// product trial: identical float64 bits on identical substreams.
+func TestProductBatchMatchesClosure(t *testing.T) {
+	cfg := Config{Model: memmodel.WO(), Threads: 4, PrefixLen: 16, StoreProb: 0.5, SwapProb: 0.5}
+	batch, err := cfg.ProductBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trials = 400
+	batchSrc, closureSrc := rng.New(9), rng.New(9)
+	out := make([]float64, trials)
+	if err := batch(batchSrc, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < trials; i++ {
+		want, err := cfg.ProductTrial(closureSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[i] != want {
+			t.Fatalf("trial %d: batch=%v closure=%v", i, out[i], want)
+		}
+	}
+}
+
+// TestEstimateNoBugProbStillDeterministic pins the end-to-end estimate:
+// the batch rewiring must leave (seed, trials) → counts unchanged across
+// worker counts.
+func TestEstimateNoBugProbStillDeterministic(t *testing.T) {
+	cfg := Config{Model: memmodel.TSO(), Threads: 2, PrefixLen: 16, StoreProb: 0.5, SwapProb: 0.5}
+	var want int
+	for i, workers := range []int{1, 4} {
+		res, err := EstimateNoBugProb(context.Background(), cfg,
+			mc.Config{Trials: 3000, Workers: workers, Seed: 62})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = res.Proportion.Successes()
+		} else if res.Proportion.Successes() != want {
+			t.Errorf("workers=%d: %d successes, want %d", workers, res.Proportion.Successes(), want)
+		}
+	}
+
+	batch, err := cfg.NoBugBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBatch, err := mc.EstimateProbabilityBatch(context.Background(),
+		mc.Config{Trials: 3000, Seed: 62}, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBatch.Proportion.Successes() != want {
+		t.Errorf("direct batch run: %d successes, want %d", viaBatch.Proportion.Successes(), want)
+	}
+}
+
+// TestBatchConstructorsValidate checks that invalid configs fail at
+// construction, before any sampling.
+func TestBatchConstructorsValidate(t *testing.T) {
+	bad := Config{Model: memmodel.TSO(), Threads: 1, PrefixLen: 16}
+	if _, err := bad.NoBugBatch(); err == nil {
+		t.Error("NoBugBatch accepted threads=1")
+	}
+	if _, err := bad.ProductBatch(); err == nil {
+		t.Error("ProductBatch accepted threads=1")
+	}
+}

@@ -92,6 +92,27 @@ func (c Config) settleOptions() (settle.Options, error) {
 	return settle.Options{SwapProbs: sp}, nil
 }
 
+// sampleSegmentsInto runs one iteration of the §6 generative process
+// into a caller-provided buffer of length Threads: draw one random
+// program, settle len(segments) independent copies of it, and record the
+// segment lengths Γ_k = γ_k + 2. It is the single sampling routine
+// shared by the per-trial closures and the batched trials, so the two
+// routes consume the RNG stream identically by construction.
+func (c Config) sampleSegmentsInto(opts settle.Options, segments []int, src *rng.Source) error {
+	p, err := prog.Generate(prog.Params{PrefixLen: c.PrefixLen, StoreProb: c.StoreProb}, src)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	for k := range segments {
+		res, err := settle.Settle(p, c.Model, opts, src)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		segments[k] = res.SegmentLength()
+	}
+	return nil
+}
+
 // SampleSegments runs one iteration of the §6 generative process: draw one
 // random program, settle Threads independent copies of it, and return the
 // segment lengths Γ_k = γ_k + 2 of the reordered critical windows.
@@ -106,17 +127,9 @@ func (c Config) SampleSegments(src *rng.Source) ([]int, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := prog.Generate(prog.Params{PrefixLen: c.PrefixLen, StoreProb: c.StoreProb}, src)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
 	segments := make([]int, c.Threads)
-	for k := range segments {
-		res, err := settle.Settle(p, c.Model, opts, src)
-		if err != nil {
-			return nil, fmt.Errorf("core: %w", err)
-		}
-		segments[k] = res.SegmentLength()
+	if err := c.sampleSegmentsInto(opts, segments, src); err != nil {
+		return nil, err
 	}
 	return segments, nil
 }
@@ -137,15 +150,14 @@ func (c Config) ManifestTrial(src *rng.Source) (bool, error) {
 }
 
 // EstimateNoBugProb estimates Pr[A] — the probability the bug does NOT
-// manifest — by full Monte Carlo over the joined process.
+// manifest — by full Monte Carlo over the joined process, on the
+// harness's batched hot path (bit-identical to the per-trial route).
 func EstimateNoBugProb(ctx context.Context, cfg Config, mcCfg mc.Config) (*mc.Result, error) {
-	if err := cfg.Validate(); err != nil {
+	batch, err := cfg.NoBugBatch()
+	if err != nil {
 		return nil, err
 	}
-	return mc.EstimateProbability(ctx, mcCfg, func(src *rng.Source) (bool, error) {
-		manifested, err := cfg.ManifestTrial(src)
-		return !manifested, err
-	})
+	return mc.EstimateProbabilityBatch(ctx, mcCfg, batch)
 }
 
 // ExactTwoThreadPrA returns the exact (up to finite-m truncation, bracketed
@@ -181,20 +193,18 @@ func (c Config) ProductTrial(src *rng.Source) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	logProduct := 0.0
-	for i := 1; i <= c.Threads-1; i++ {
-		logProduct += -float64(i) * float64(segments[i-1]) * math.Ln2
-	}
-	return math.Exp(logProduct), nil
+	return productOf(segments), nil
 }
 
 // EstimateProductExpectation estimates E[Π_{i=1}^{n-1} 2^-i·Γᵢ] by Monte
-// Carlo.
+// Carlo, on the harness's batched hot path (bit-identical to the
+// per-trial route).
 func EstimateProductExpectation(ctx context.Context, cfg Config, mcCfg mc.Config) (*stats.Summary, error) {
-	if err := cfg.Validate(); err != nil {
+	batch, err := cfg.ProductBatch()
+	if err != nil {
 		return nil, err
 	}
-	return mc.EstimateMean(ctx, mcCfg, cfg.ProductTrial)
+	return mc.EstimateMeanBatch(ctx, mcCfg, batch)
 }
 
 // HybridResult is the outcome of a Theorem 6.1 hybrid estimation.
@@ -210,19 +220,14 @@ type HybridResult struct {
 	StdErr float64
 }
 
-// HybridPrA estimates Pr[A] for any n by plugging a Monte Carlo estimate of
-// the product expectation into the exact Theorem 6.1 formula. Unlike full
-// simulation it remains accurate deep in the e^{-Θ(n²)} regime, because the
-// n-dependent combinatorial factors are computed analytically.
-func HybridPrA(ctx context.Context, cfg Config, mcCfg mc.Config) (*HybridResult, error) {
-	sum, err := EstimateProductExpectation(ctx, cfg, mcCfg)
-	if err != nil {
-		return nil, err
-	}
-	expectation := sum.Mean()
+// hybridResultFrom assembles a HybridResult from an estimated product
+// expectation — the single Theorem 6.1 plug-in point shared by the
+// fixed-trials and adaptive routes, so the positivity guard and the
+// log-space recomputation cannot drift apart.
+func hybridResultFrom(cfg Config, expectation, stdErr float64) (*HybridResult, error) {
 	if expectation <= 0 {
 		return nil, fmt.Errorf("%w: product expectation estimate %v not positive "+
-			"(increase trials)", ErrBadConfig, expectation)
+			"(increase the trial budget)", ErrBadConfig, expectation)
 	}
 	prA, err := shift.Theorem61(cfg.Threads, expectation)
 	if err != nil {
@@ -242,8 +247,20 @@ func HybridPrA(ctx context.Context, cfg Config, mcCfg mc.Config) (*HybridResult,
 		PrA:                prA,
 		LogPrA:             logPrA,
 		ProductExpectation: expectation,
-		StdErr:             sum.StdErr(),
+		StdErr:             stdErr,
 	}, nil
+}
+
+// HybridPrA estimates Pr[A] for any n by plugging a Monte Carlo estimate of
+// the product expectation into the exact Theorem 6.1 formula. Unlike full
+// simulation it remains accurate deep in the e^{-Θ(n²)} regime, because the
+// n-dependent combinatorial factors are computed analytically.
+func HybridPrA(ctx context.Context, cfg Config, mcCfg mc.Config) (*HybridResult, error) {
+	sum, err := EstimateProductExpectation(ctx, cfg, mcCfg)
+	if err != nil {
+		return nil, err
+	}
+	return hybridResultFrom(cfg, sum.Mean(), sum.StdErr())
 }
 
 // logFactorial is a small local helper (ln n!).

@@ -95,6 +95,9 @@ func (exactEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Exe
 }
 
 // fullMCEstimator is full end-to-end Monte Carlo of the joined process.
+// It runs on the mc harness's batched hot path (core.Config.NoBugBatch):
+// whole chunks per call, zero steady-state allocations, bit-identical to
+// the historical per-trial route.
 type fullMCEstimator struct{}
 
 func (fullMCEstimator) Kind() Kind          { return FullMC }
@@ -136,7 +139,9 @@ func (fullMCEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Ex
 	return res, nil
 }
 
-// hybridEstimator is the Theorem 6.1 hybrid route.
+// hybridEstimator is the Theorem 6.1 hybrid route. Its product
+// expectation runs on the mc harness's batched hot path
+// (core.Config.ProductBatch), bit-identical to the per-trial route.
 type hybridEstimator struct{}
 
 func (hybridEstimator) Kind() Kind          { return Hybrid }

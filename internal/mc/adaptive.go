@@ -127,11 +127,26 @@ func (r *AdaptiveResult) TrialsUsed() int { return r.Proportion.Trials() }
 // round, and stops as soon as every configured target is met or
 // cfg.MaxTrials is exhausted. See AdaptiveConfig for the reproducibility
 // contract. A canceled run returns ctx.Err() alongside partial results.
+// It adapts the closure onto the batched engine; see
+// EstimateAdaptiveBatch for the hot path.
 func EstimateAdaptive(ctx context.Context, cfg AdaptiveConfig, trial Trial) (*AdaptiveResult, error) {
+	if trial == nil {
+		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
+	}
+	return EstimateAdaptiveBatch(ctx, cfg, BatchFromTrial(trial))
+}
+
+// EstimateAdaptiveBatch is EstimateAdaptive on the batch interface:
+// every round evaluates its chunks whole, one batch call per chunk on a
+// per-worker reusable buffer, so the steady-state loop is free of
+// per-trial call overhead and of allocations. Rounds, stopping, and the
+// reproducibility contract are exactly EstimateAdaptive's, and results
+// are bit-identical to it for the equivalent closure.
+func EstimateAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch BatchTrial) (*AdaptiveResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if trial == nil {
+	if batch == nil {
 		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
 	}
 	sources, quotas := chunkPlan(Config{Trials: cfg.MaxTrials, Seed: cfg.Seed})
@@ -141,24 +156,20 @@ func EstimateAdaptive(ctx context.Context, cfg AdaptiveConfig, trial Trial) (*Ad
 	result := &AdaptiveResult{}
 	for start := 0; start < len(sources); {
 		end := nextRound(start, len(sources))
-		runErr := runChunks(ctx, cfg.Workers, end-start, func(ctx context.Context, j int) error {
-			chunk := start + j
-			src := sources[chunk]
-			for i := 0; i < quotas[chunk]; i++ {
-				if i%1024 == 0 && ctx.Err() != nil {
-					return ctx.Err()
-				}
-				ok, err := trial(src)
+		runErr := runChunksWith(ctx, cfg.Workers, end-start, boolScratch,
+			func(ctx context.Context, j int, out []bool) error {
+				chunk := start + j
+				n, err := runProbChunk(ctx, batch, sources[chunk], out[:quotas[chunk]])
 				if err != nil {
+					if err == ctx.Err() {
+						return err
+					}
 					return fmt.Errorf("mc: trial failed in chunk %d: %w", chunk, err)
 				}
-				trialsRun[chunk]++
-				if ok {
-					successes[chunk]++
-				}
-			}
-			return nil
-		})
+				successes[chunk] = n
+				trialsRun[chunk] = quotas[chunk]
+				return nil
+			})
 		for chunk := start; chunk < end; chunk++ {
 			if err := result.Proportion.AddCounts(successes[chunk], trialsRun[chunk]); err != nil {
 				return nil, err
@@ -202,12 +213,23 @@ func (r *AdaptiveMeanResult) TrialsUsed() int { return r.Summary.N() }
 // requested precision, using the normal-approximation interval at
 // cfg.Confidence (half-width z·StdErr) as the stopping rule. Rounds,
 // merging, and the reproducibility contract are exactly those of
-// EstimateAdaptive.
+// EstimateAdaptive. It adapts the closure onto the batched engine; see
+// EstimateMeanAdaptiveBatch for the hot path.
 func EstimateMeanAdaptive(ctx context.Context, cfg AdaptiveConfig, sample MeanEstimator) (*AdaptiveMeanResult, error) {
+	if sample == nil {
+		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
+	}
+	return EstimateMeanAdaptiveBatch(ctx, cfg, BatchFromMean(sample))
+}
+
+// EstimateMeanAdaptiveBatch is EstimateMeanAdaptive on the batch
+// interface, with EstimateAdaptiveBatch's zero-allocation steady-state
+// chunk loop and bit-identical results to the closure route.
+func EstimateMeanAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch BatchMean) (*AdaptiveMeanResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if sample == nil {
+	if batch == nil {
 		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
 	}
 	sources, quotas := chunkPlan(Config{Trials: cfg.MaxTrials, Seed: cfg.Seed})
@@ -216,21 +238,17 @@ func EstimateMeanAdaptive(ctx context.Context, cfg AdaptiveConfig, sample MeanEs
 	result := &AdaptiveMeanResult{}
 	for start := 0; start < len(sources); {
 		end := nextRound(start, len(sources))
-		runErr := runChunks(ctx, cfg.Workers, end-start, func(ctx context.Context, j int) error {
-			chunk := start + j
-			src := sources[chunk]
-			for i := 0; i < quotas[chunk]; i++ {
-				if i%1024 == 0 && ctx.Err() != nil {
-					return ctx.Err()
-				}
-				v, err := sample(src)
-				if err != nil {
+		runErr := runChunksWith(ctx, cfg.Workers, end-start, floatScratch,
+			func(ctx context.Context, j int, out []float64) error {
+				chunk := start + j
+				if err := runMeanChunk(ctx, batch, sources[chunk], out[:quotas[chunk]], &sums[chunk]); err != nil {
+					if err == ctx.Err() {
+						return err
+					}
 					return fmt.Errorf("mc: sampler failed in chunk %d: %w", chunk, err)
 				}
-				sums[chunk].Add(v)
-			}
-			return nil
-		})
+				return nil
+			})
 		// Extending a left-to-right fold keeps the merge in chunk order,
 		// so partial (error-path) and complete results alike are
 		// bit-identical at any worker count.

@@ -1,0 +1,232 @@
+package mc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"memreliability/internal/rng"
+	"memreliability/internal/stats"
+)
+
+// wobblyTrial is a per-trial closure with data-dependent RNG consumption
+// (0–3 extra draws per trial), so any batch/closure misalignment of the
+// substream shows up immediately in the booleans that follow.
+func wobblyTrial(src *rng.Source) (bool, error) {
+	n := src.Intn(4)
+	for i := 0; i < n; i++ {
+		src.Uint64()
+	}
+	return src.Bool(0.3), nil
+}
+
+// TestBatchClosureIdenticalBooleans is the batch-adapter property test:
+// for identical substreams, BatchFromTrial must produce exactly the
+// booleans the per-trial closure produces, trial for trial, across chunk
+// boundaries (trial counts below, at, and above multiples of chunkSize).
+func TestBatchClosureIdenticalBooleans(t *testing.T) {
+	batch := BatchFromTrial(wobblyTrial)
+	for _, trials := range []int{1, chunkSize - 1, chunkSize, chunkSize + 1, 3*chunkSize + 17} {
+		sources, quotas := chunkPlan(Config{Trials: trials, Seed: 42})
+		closureSources, _ := chunkPlan(Config{Trials: trials, Seed: 42})
+		out := make([]bool, chunkSize)
+		for chunk := range sources {
+			got := out[:quotas[chunk]]
+			if err := batch(sources[chunk], got); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < quotas[chunk]; i++ {
+				want, err := wobblyTrial(closureSources[chunk])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[i] != want {
+					t.Fatalf("trials=%d chunk=%d trial=%d: batch=%v closure=%v",
+						trials, chunk, i, got[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchClosureIdenticalEstimates checks the full engines end to end:
+// the batch and closure entry points must aggregate identical counts and
+// identical summaries for the same (seed, trials), at several worker
+// counts.
+func TestBatchClosureIdenticalEstimates(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{1, 3} {
+		for _, trials := range []int{100, chunkSize + 1, 2*chunkSize + 99} {
+			cfg := Config{Trials: trials, Workers: workers, Seed: 7}
+			viaClosure, err := EstimateProbability(ctx, cfg, wobblyTrial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaBatch, err := EstimateProbabilityBatch(ctx, cfg, BatchFromTrial(wobblyTrial))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if viaClosure.Proportion.Successes() != viaBatch.Proportion.Successes() ||
+				viaClosure.Proportion.Trials() != viaBatch.Proportion.Trials() {
+				t.Errorf("workers=%d trials=%d: closure %d/%d vs batch %d/%d",
+					workers, trials,
+					viaClosure.Proportion.Successes(), viaClosure.Proportion.Trials(),
+					viaBatch.Proportion.Successes(), viaBatch.Proportion.Trials())
+			}
+
+			sample := func(src *rng.Source) (float64, error) { return src.Float64(), nil }
+			meanClosure, err := EstimateMean(ctx, cfg, sample)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meanBatch, err := EstimateMeanBatch(ctx, cfg, BatchFromMean(sample))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meanClosure.Mean() != meanBatch.Mean() || meanClosure.N() != meanBatch.N() {
+				t.Errorf("workers=%d trials=%d: mean %v (n=%d) vs %v (n=%d)",
+					workers, trials, meanClosure.Mean(), meanClosure.N(),
+					meanBatch.Mean(), meanBatch.N())
+			}
+		}
+	}
+}
+
+// TestAdaptiveBatchClosureIdentical checks the adaptive engines: batch
+// and closure routes must stop at the same round with identical counts.
+func TestAdaptiveBatchClosureIdentical(t *testing.T) {
+	ctx := context.Background()
+	cfg := AdaptiveConfig{
+		MaxTrials:       8 * chunkSize,
+		Seed:            13,
+		TargetHalfWidth: 0.01,
+		Confidence:      0.95,
+	}
+	viaClosure, err := EstimateAdaptive(ctx, cfg, wobblyTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBatch, err := EstimateAdaptiveBatch(ctx, cfg, BatchFromTrial(wobblyTrial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaClosure.Rounds != viaBatch.Rounds || viaClosure.StopReason != viaBatch.StopReason ||
+		viaClosure.Proportion.Successes() != viaBatch.Proportion.Successes() ||
+		viaClosure.Proportion.Trials() != viaBatch.Proportion.Trials() {
+		t.Errorf("closure %d/%d rounds=%d %s vs batch %d/%d rounds=%d %s",
+			viaClosure.Proportion.Successes(), viaClosure.Proportion.Trials(),
+			viaClosure.Rounds, viaClosure.StopReason,
+			viaBatch.Proportion.Successes(), viaBatch.Proportion.Trials(),
+			viaBatch.Rounds, viaBatch.StopReason)
+	}
+
+	sample := func(src *rng.Source) (float64, error) { return src.Float64(), nil }
+	meanClosure, err := EstimateMeanAdaptive(ctx, cfg, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanBatch, err := EstimateMeanAdaptiveBatch(ctx, cfg, BatchFromMean(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanClosure.Summary.Mean() != meanBatch.Summary.Mean() ||
+		meanClosure.Rounds != meanBatch.Rounds || meanClosure.StopReason != meanBatch.StopReason {
+		t.Errorf("closure mean %v rounds=%d %s vs batch mean %v rounds=%d %s",
+			meanClosure.Summary.Mean(), meanClosure.Rounds, meanClosure.StopReason,
+			meanBatch.Summary.Mean(), meanBatch.Rounds, meanBatch.StopReason)
+	}
+}
+
+// coinBatch is a trivial allocation-free batch trial: the harness's own
+// overhead is everything the zero-alloc assertions below measure.
+func coinBatch(src *rng.Source, out []bool) error {
+	for i := range out {
+		out[i] = src.Uint64()&1 == 0
+	}
+	return nil
+}
+
+// TestProbChunkZeroAllocs asserts the steady-state fixed-MC inner loop —
+// one whole chunk evaluated through the batch interface into a reusable
+// buffer — performs zero allocations per chunk.
+func TestProbChunkZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	ctx := context.Background()
+	src := rng.New(7)
+	out := make([]bool, chunkSize)
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := runProbChunk(ctx, coinBatch, src, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("probability chunk hot path allocates %v per chunk, want 0", allocs)
+	}
+}
+
+// TestMeanChunkZeroAllocs is TestProbChunkZeroAllocs for the mean engine.
+func TestMeanChunkZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	batch := BatchMean(func(src *rng.Source, out []float64) error {
+		for i := range out {
+			out[i] = src.Float64()
+		}
+		return nil
+	})
+	ctx := context.Background()
+	src := rng.New(7)
+	out := make([]float64, chunkSize)
+	var summary stats.Summary
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := runMeanChunk(ctx, batch, src, out, &summary); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("mean chunk hot path allocates %v per chunk, want 0", allocs)
+	}
+}
+
+// TestBatchIntraChunkCancellation checks the engine notices a canceled
+// context between sub-batches of one chunk, not merely between chunks:
+// after the first cancelCheckInterval-sized call, no further batch calls
+// happen.
+func TestBatchIntraChunkCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	batch := BatchTrial(func(src *rng.Source, out []bool) error {
+		calls++
+		cancel()
+		return nil
+	})
+	_, err := EstimateProbabilityBatch(ctx, Config{Trials: chunkSize, Workers: 1, Seed: 1}, batch)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("batch called %d times after mid-chunk cancellation, want 1", calls)
+	}
+}
+
+// TestBatchErrorPropagation mirrors the closure error tests on the batch
+// entry points.
+func TestBatchErrorPropagation(t *testing.T) {
+	ctx := context.Background()
+	sentinel := errors.New("boom")
+	_, err := EstimateProbabilityBatch(ctx, Config{Trials: 1000, Workers: 2, Seed: 1},
+		func(src *rng.Source, out []bool) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want wrapped sentinel", err)
+	}
+	if _, err := EstimateProbabilityBatch(ctx, Config{Trials: 10}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil batch trial accepted")
+	}
+	if _, err := EstimateMeanBatch(ctx, Config{Trials: 10}, nil); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil batch sampler accepted")
+	}
+}

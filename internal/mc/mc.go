@@ -6,6 +6,21 @@
 // substream from the experiment seed and its chunk index, and chunk
 // results are merged in chunk order. An estimate therefore depends only
 // on (seed, trials) — never on the worker count or goroutine scheduling.
+//
+// # The batched hot path
+//
+// Trials can be driven two ways. The legacy way is a per-trial closure
+// (Trial, MeanEstimator): one dynamic function call per trial. The hot
+// path is the batch interface (BatchTrial, BatchMean): the harness hands
+// an implementation a whole chunk's reusable output buffer and the
+// chunk's RNG substream, and the implementation fills it in one call —
+// so the per-trial call and scheduling overhead disappears, and the
+// steady-state chunk loop performs zero allocations (per-worker scratch
+// buffers are reused across chunks; per-chunk result slots are
+// preallocated). Both paths consume the RNG substreams identically, so a
+// batch run is bit-identical to the equivalent closure run: same chunk
+// plan, same substream derivation, same counts. The closure entry points
+// are thin adapters over the batch engine.
 package mc
 
 import (
@@ -31,6 +46,34 @@ const chunkSize = 8192
 // interest occurred. Implementations must use only the provided Source for
 // randomness and must be safe to call from one goroutine at a time.
 type Trial func(src *rng.Source) (success bool, err error)
+
+// BatchTrial evaluates len(out) consecutive trials on src, recording the
+// i-th trial's success in out[i]. It is the batched form of Trial: the
+// harness calls it once per chunk with a reusable buffer, so
+// implementations amortize per-trial setup (validation, option
+// construction, scratch buffers) over the whole chunk. An implementation
+// must consume src exactly as len(out) sequential Trial calls would, so
+// batch and closure runs stay bit-identical; distinct calls receive
+// distinct sources and may run concurrently, so any state shared between
+// calls must be immutable.
+type BatchTrial func(src *rng.Source, out []bool) error
+
+// BatchFromTrial adapts a per-trial closure to the batch interface. The
+// adapter preserves the closure's semantics exactly (same calls, same
+// RNG stream); it exists so every closure call site keeps working on the
+// batched engine.
+func BatchFromTrial(trial Trial) BatchTrial {
+	return func(src *rng.Source, out []bool) error {
+		for i := range out {
+			ok, err := trial(src)
+			if err != nil {
+				return err
+			}
+			out[i] = ok
+		}
+		return nil
+	}
+}
 
 // Config controls a Monte Carlo run.
 type Config struct {
@@ -69,10 +112,13 @@ func chunkPlan(cfg Config) (sources []*rng.Source, quotas []int) {
 	return sources, quotas
 }
 
-// runChunks executes fn(chunk) for every chunk index across a worker
-// pool. The first failure cancels the remaining chunks; the returned
-// error prefers a root-cause failure over the cancellations it induced.
-func runChunks(ctx context.Context, workers, nChunks int, fn func(ctx context.Context, chunk int) error) error {
+// runChunksWith executes fn(chunk, scratch) for every chunk index across
+// a worker pool, handing each worker one reusable scratch value from
+// newScratch — the allocation point for the batch engine's per-worker
+// buffers, paid once per worker, never per chunk. The first failure
+// cancels the remaining chunks; the returned error prefers a root-cause
+// failure over the cancellations it induced.
+func runChunksWith[S any](ctx context.Context, workers, nChunks int, newScratch func() S, fn func(ctx context.Context, chunk int, scratch S) error) error {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -89,8 +135,9 @@ func runChunks(ctx context.Context, workers, nChunks int, fn func(ctx context.Co
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			scratch := newScratch()
 			for chunk := range jobs {
-				if err := fn(runCtx, chunk); err != nil {
+				if err := fn(runCtx, chunk, scratch); err != nil {
 					errs[w] = err
 					cancel()
 					return
@@ -126,6 +173,78 @@ feed:
 	return firstErr
 }
 
+// runChunks is runChunksWith without per-worker scratch.
+func runChunks(ctx context.Context, workers, nChunks int, fn func(ctx context.Context, chunk int) error) error {
+	return runChunksWith(ctx, workers, nChunks,
+		func() struct{} { return struct{}{} },
+		func(ctx context.Context, chunk int, _ struct{}) error { return fn(ctx, chunk) })
+}
+
+// boolScratch allocates one worker's reusable chunk buffer.
+func boolScratch() []bool { return make([]bool, chunkSize) }
+
+// floatScratch allocates one worker's reusable chunk buffer.
+func floatScratch() []float64 { return make([]float64, chunkSize) }
+
+// cancelCheckInterval is the cancellation granularity inside a chunk:
+// the engine slices each chunk into sub-batches of this many trials and
+// checks the context between them, preserving the per-trial era's
+// cancellation latency. Sub-slicing is invisible to results — the
+// BatchTrial contract (sequential consumption of src) makes consecutive
+// sub-slices compose into exactly one whole-chunk call.
+const cancelCheckInterval = 1024
+
+// runProbChunk evaluates one whole chunk through the batch trial into the
+// worker's reusable buffer and returns the success count. This is the
+// steady-state hot path of every probability estimate: it performs zero
+// allocations per call (asserted by tests).
+func runProbChunk(ctx context.Context, batch BatchTrial, src *rng.Source, out []bool) (successes int, err error) {
+	n := 0
+	for off := 0; off < len(out); off += cancelCheckInterval {
+		if err := ctx.Err(); err != nil {
+			return n, err
+		}
+		end := off + cancelCheckInterval
+		if end > len(out) {
+			end = len(out)
+		}
+		sub := out[off:end]
+		if err := batch(src, sub); err != nil {
+			return n, err
+		}
+		for _, ok := range sub {
+			if ok {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// runMeanChunk evaluates one whole chunk through the batch sampler into
+// the worker's reusable buffer and folds the observations into the
+// chunk's summary, in trial order. Zero allocations per call;
+// cancellation granularity as runProbChunk.
+func runMeanChunk(ctx context.Context, batch BatchMean, src *rng.Source, out []float64, sum *stats.Summary) error {
+	for off := 0; off < len(out); off += cancelCheckInterval {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		end := off + cancelCheckInterval
+		if end > len(out) {
+			end = len(out)
+		}
+		sub := out[off:end]
+		if err := batch(src, sub); err != nil {
+			return err
+		}
+		for _, v := range sub {
+			sum.Add(v)
+		}
+	}
+	return nil
+}
+
 // Result is the outcome of a Monte Carlo run.
 type Result struct {
 	Proportion stats.Proportion
@@ -141,35 +260,46 @@ func (r *Result) WilsonCI(level float64) (lo, hi float64, err error) {
 
 // EstimateProbability runs trials of the given Trial function in parallel
 // and returns the aggregated proportion. The context cancels the run early;
-// a canceled run returns ctx.Err() alongside partial results.
+// a canceled run returns ctx.Err() alongside the results of the chunks
+// that completed. It adapts the closure onto the batched engine; see
+// EstimateProbabilityBatch for the hot path.
 func EstimateProbability(ctx context.Context, cfg Config, trial Trial) (*Result, error) {
+	if trial == nil {
+		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
+	}
+	return EstimateProbabilityBatch(ctx, cfg, BatchFromTrial(trial))
+}
+
+// EstimateProbabilityBatch runs cfg.Trials trials of the batched trial in
+// parallel and returns the aggregated proportion. Chunks are evaluated
+// whole — one batch call per chunk on a per-worker reusable buffer — so
+// the steady-state loop is free of per-trial call overhead and of
+// allocations. Results are bit-identical to EstimateProbability with the
+// equivalent closure: same chunk plan, same substreams, same counts.
+func EstimateProbabilityBatch(ctx context.Context, cfg Config, batch BatchTrial) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if trial == nil {
+	if batch == nil {
 		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
 	}
 	sources, quotas := chunkPlan(cfg)
 	successes := make([]int, len(sources))
 	trialsRun := make([]int, len(sources))
 
-	runErr := runChunks(ctx, cfg.Workers, len(sources), func(ctx context.Context, chunk int) error {
-		src := sources[chunk]
-		for i := 0; i < quotas[chunk]; i++ {
-			if i%1024 == 0 && ctx.Err() != nil {
-				return ctx.Err()
-			}
-			ok, err := trial(src)
+	runErr := runChunksWith(ctx, cfg.Workers, len(sources), boolScratch,
+		func(ctx context.Context, chunk int, out []bool) error {
+			n, err := runProbChunk(ctx, batch, sources[chunk], out[:quotas[chunk]])
 			if err != nil {
+				if err == ctx.Err() {
+					return err
+				}
 				return fmt.Errorf("mc: trial failed in chunk %d: %w", chunk, err)
 			}
-			trialsRun[chunk]++
-			if ok {
-				successes[chunk]++
-			}
-		}
-		return nil
-	})
+			successes[chunk] = n
+			trialsRun[chunk] = quotas[chunk]
+			return nil
+		})
 
 	result := &Result{}
 	for chunk := range sources {
@@ -250,34 +380,66 @@ func EstimateDistribution(ctx context.Context, cfg Config, buckets int, sample I
 // MeanEstimator runs a real-valued sampler and returns an online Summary.
 type MeanEstimator func(src *rng.Source) (value float64, err error)
 
+// BatchMean evaluates len(out) consecutive real-valued samples on src,
+// recording the i-th observation in out[i]. It is the batched form of
+// MeanEstimator, with exactly BatchTrial's contract: bit-identical RNG
+// consumption to sequential closure calls, concurrent invocation on
+// distinct sources.
+type BatchMean func(src *rng.Source, out []float64) error
+
+// BatchFromMean adapts a per-trial sampler to the batch interface,
+// preserving its semantics exactly.
+func BatchFromMean(sample MeanEstimator) BatchMean {
+	return func(src *rng.Source, out []float64) error {
+		for i := range out {
+			v, err := sample(src)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		return nil
+	}
+}
+
 // EstimateMean runs the sampler cfg.Trials times and returns summary
 // statistics of the observations. Chunk summaries are merged in chunk
 // order, so the result is bit-identical at any worker count even though
-// summary merging is not floating-point associative.
+// summary merging is not floating-point associative. It adapts the
+// closure onto the batched engine; see EstimateMeanBatch for the hot
+// path.
 func EstimateMean(ctx context.Context, cfg Config, sample MeanEstimator) (*stats.Summary, error) {
+	if sample == nil {
+		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
+	}
+	return EstimateMeanBatch(ctx, cfg, BatchFromMean(sample))
+}
+
+// EstimateMeanBatch runs cfg.Trials samples of the batched sampler in
+// parallel and returns summary statistics of the observations, folding
+// each chunk's buffer into its summary in trial order and merging chunk
+// summaries in chunk order — bit-identical to EstimateMean with the
+// equivalent closure, at any worker count.
+func EstimateMeanBatch(ctx context.Context, cfg Config, batch BatchMean) (*stats.Summary, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if sample == nil {
+	if batch == nil {
 		return nil, fmt.Errorf("%w: nil sampler", ErrBadConfig)
 	}
 	sources, quotas := chunkPlan(cfg)
 	sums := make([]stats.Summary, len(sources))
 
-	err := runChunks(ctx, cfg.Workers, len(sources), func(ctx context.Context, chunk int) error {
-		src := sources[chunk]
-		for i := 0; i < quotas[chunk]; i++ {
-			if i%1024 == 0 && ctx.Err() != nil {
-				return ctx.Err()
-			}
-			v, err := sample(src)
-			if err != nil {
+	err := runChunksWith(ctx, cfg.Workers, len(sources), floatScratch,
+		func(ctx context.Context, chunk int, out []float64) error {
+			if err := runMeanChunk(ctx, batch, sources[chunk], out[:quotas[chunk]], &sums[chunk]); err != nil {
+				if err == ctx.Err() {
+					return err
+				}
 				return fmt.Errorf("mc: sampler failed in chunk %d: %w", chunk, err)
 			}
-			sums[chunk].Add(v)
-		}
-		return nil
-	})
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}

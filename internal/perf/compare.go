@@ -1,0 +1,196 @@
+package perf
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrIncomparable reports records that cannot be diffed (schema version
+// mismatch); the baseline must be refreshed deliberately.
+var ErrIncomparable = errors.New("perf: records not comparable")
+
+// DefaultMaxNsRatio is the default time-regression tolerance: generous
+// enough to absorb shared-runner noise, tight enough to catch a real
+// slowdown.
+const DefaultMaxNsRatio = 2.0
+
+// Tolerances bound the drift Compare accepts before calling a scenario
+// regressed.
+type Tolerances struct {
+	// MaxNsRatio fails a scenario whose ns/op exceeds old × MaxNsRatio.
+	// Zero or negative selects DefaultMaxNsRatio. Zero-alloc scenarios
+	// additionally fail on ANY allocs/op growth, tolerance-free.
+	MaxNsRatio float64
+}
+
+// DefaultTolerances returns the CI regression gate's tolerances.
+func DefaultTolerances() Tolerances { return Tolerances{MaxNsRatio: DefaultMaxNsRatio} }
+
+func (t Tolerances) maxNsRatio() float64 {
+	if t.MaxNsRatio > 0 {
+		return t.MaxNsRatio
+	}
+	return DefaultMaxNsRatio
+}
+
+// Status classifies one scenario's drift.
+type Status string
+
+const (
+	// StatusOK: within tolerance.
+	StatusOK Status = "ok"
+	// StatusRegressed: slower than tolerated, grew allocations on a
+	// zero-alloc scenario, or vanished from the new record.
+	StatusRegressed Status = "regressed"
+	// StatusNew: present only in the new record (fine; the baseline
+	// picks it up at the next deliberate refresh).
+	StatusNew Status = "new"
+)
+
+// Delta is one scenario's comparison.
+type Delta struct {
+	ID        string
+	Status    Status
+	Reason    string
+	OldNs     float64
+	NewNs     float64
+	NsRatio   float64
+	OldAllocs float64
+	NewAllocs float64
+	ZeroAlloc bool
+}
+
+// Report is the outcome of comparing a new record against a baseline.
+type Report struct {
+	Tolerances Tolerances
+	Deltas     []Delta
+	// Notes are non-fatal caveats — e.g. the two records were measured
+	// under different Go versions or environments, so ratios carry more
+	// noise than usual. They never fail the gate by themselves.
+	Notes []string
+}
+
+// Regressions returns the regressed deltas.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Status == StatusRegressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Regressed reports whether any scenario regressed.
+func (r *Report) Regressed() bool { return len(r.Regressions()) > 0 }
+
+// WriteText renders the report as an aligned text table plus a verdict
+// line, preceded by any environment-mismatch notes.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, note := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-34s %14s %14s %7s %16s  %s\n",
+		"scenario", "old ns/op", "new ns/op", "ratio", "allocs old→new", "status"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		ratio := "-"
+		if d.NsRatio > 0 {
+			ratio = fmt.Sprintf("%.2fx", d.NsRatio)
+		}
+		status := string(d.Status)
+		if d.Reason != "" {
+			status += " (" + d.Reason + ")"
+		}
+		if _, err := fmt.Fprintf(w, "%-34s %14.0f %14.0f %7s %8.0f→%-7.0f %s\n",
+			d.ID, d.OldNs, d.NewNs, ratio, d.OldAllocs, d.NewAllocs, status); err != nil {
+			return err
+		}
+	}
+	reg := r.Regressions()
+	if len(reg) == 0 {
+		_, err := fmt.Fprintf(w, "PASS: %d scenarios within tolerance (max ns/op ratio %.2gx, zero-alloc growth forbidden)\n",
+			len(r.Deltas), r.Tolerances.maxNsRatio())
+		return err
+	}
+	_, err := fmt.Fprintf(w, "FAIL: %d of %d scenarios regressed\n", len(reg), len(r.Deltas))
+	return err
+}
+
+// Compare diffs a new record against a baseline under the given
+// tolerances. A scenario regresses when its ns/op grows beyond the
+// ratio tolerance, when it disappears from the new record, or — for
+// zero-alloc scenarios — when its allocs/op grows at all. Scenarios
+// only present in the new record are reported as StatusNew and never
+// fail the gate.
+func Compare(old, new *Record, tol Tolerances) (*Report, error) {
+	if old == nil || new == nil {
+		return nil, fmt.Errorf("%w: nil record", ErrIncomparable)
+	}
+	if old.SchemaVersion != new.SchemaVersion {
+		return nil, fmt.Errorf("%w: schema versions %d vs %d (refresh the baseline deliberately)",
+			ErrIncomparable, old.SchemaVersion, new.SchemaVersion)
+	}
+	report := &Report{Tolerances: tol}
+	// Environment drift does not fail the gate (the generous tolerances
+	// exist precisely to absorb machine variance), but it must never be
+	// silent: a baseline recorded elsewhere makes ratios noisier.
+	if old.GoVersion != new.GoVersion {
+		report.Notes = append(report.Notes,
+			fmt.Sprintf("go versions differ: baseline %s vs new %s", old.GoVersion, new.GoVersion))
+	}
+	if old.GOOS != new.GOOS || old.GOARCH != new.GOARCH {
+		report.Notes = append(report.Notes,
+			fmt.Sprintf("platforms differ: baseline %s/%s vs new %s/%s (ratios are noisy; consider refreshing the baseline)",
+				old.GOOS, old.GOARCH, new.GOOS, new.GOARCH))
+	}
+	if old.GOMAXPROCS != new.GOMAXPROCS {
+		report.Notes = append(report.Notes,
+			fmt.Sprintf("GOMAXPROCS differs: baseline %d vs new %d (suite scenarios are single-worker, so impact is limited)",
+				old.GOMAXPROCS, new.GOMAXPROCS))
+	}
+	maxRatio := tol.maxNsRatio()
+	seen := make(map[string]bool, len(old.Scenarios))
+	for _, o := range old.Scenarios {
+		seen[o.ID] = true
+		d := Delta{ID: o.ID, OldNs: o.NsPerOp, OldAllocs: o.AllocsPerOp, ZeroAlloc: o.ZeroAlloc}
+		n, ok := new.Scenario(o.ID)
+		if !ok {
+			d.Status = StatusRegressed
+			d.Reason = "scenario missing from new record"
+			report.Deltas = append(report.Deltas, d)
+			continue
+		}
+		d.NewNs = n.NsPerOp
+		d.NewAllocs = n.AllocsPerOp
+		d.ZeroAlloc = o.ZeroAlloc || n.ZeroAlloc
+		if o.NsPerOp > 0 {
+			d.NsRatio = n.NsPerOp / o.NsPerOp
+		}
+		d.Status = StatusOK
+		switch {
+		case d.NsRatio > maxRatio:
+			d.Status = StatusRegressed
+			d.Reason = fmt.Sprintf("ns/op grew %.2fx (tolerance %.2gx)", d.NsRatio, maxRatio)
+		case d.ZeroAlloc && n.AllocsPerOp > o.AllocsPerOp:
+			d.Status = StatusRegressed
+			d.Reason = fmt.Sprintf("allocs/op grew %.0f→%.0f on a zero-alloc scenario",
+				o.AllocsPerOp, n.AllocsPerOp)
+		}
+		report.Deltas = append(report.Deltas, d)
+	}
+	for _, n := range new.Scenarios {
+		if seen[n.ID] {
+			continue
+		}
+		report.Deltas = append(report.Deltas, Delta{
+			ID: n.ID, Status: StatusNew, NewNs: n.NsPerOp, NewAllocs: n.AllocsPerOp,
+			ZeroAlloc: n.ZeroAlloc, Reason: "not in baseline",
+		})
+	}
+	return report, nil
+}

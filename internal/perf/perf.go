@@ -1,0 +1,139 @@
+// Package perf is the canonical performance record of the estimation
+// stack: a fixed, versioned suite of benchmark scenarios (Suite), a
+// schema-versioned JSON artifact capturing one machine's measurements
+// (Record, conventionally written as BENCH_<rev>.json), and a
+// tolerance-based comparator (Compare) that turns two records into a
+// pass/fail regression report.
+//
+// The subsystem exists so performance is a first-class, machine-checked
+// artifact instead of folklore: cmd/membench runs the suite and emits
+// the JSON, the committed BENCH_baseline.json is the trajectory's
+// anchor, and CI's bench-regression job (mirrored by `make
+// bench-compare`) fails a change that slows a scenario beyond the
+// configured tolerance or adds allocations to a zero-alloc scenario.
+package perf
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// SchemaVersion identifies the Record JSON schema. Compare refuses to
+// diff records of different schema versions: a schema change requires a
+// deliberate baseline refresh.
+const SchemaVersion = 1
+
+// ErrBadRecord reports an unreadable or schema-incompatible record.
+var ErrBadRecord = errors.New("perf: bad record")
+
+// ScenarioResult is one measured suite entry.
+type ScenarioResult struct {
+	// ID is the stable scenario identifier (see Suite). Comparisons key
+	// on it, so renaming a scenario is a baseline-breaking change.
+	ID string `json:"id"`
+	// NsPerOp is wall-clock nanoseconds per benchmark operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the heap cost per operation.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// TrialsPerSec is the Monte Carlo throughput (0 for deterministic
+	// scenarios), derived from NsPerOp and the scenario's trial count.
+	TrialsPerSec float64 `json:"trials_per_sec,omitempty"`
+	// Ops is the number of operations the measurement averaged over.
+	Ops int `json:"ops"`
+	// ZeroAlloc marks scenarios whose allocs/op must never grow: the
+	// regression gate fails on ANY increase, regardless of tolerances.
+	ZeroAlloc bool `json:"zero_alloc,omitempty"`
+}
+
+// Record is one machine's measurement of the whole suite — the
+// BENCH_<rev>.json artifact.
+type Record struct {
+	SchemaVersion int              `json:"schema_version"`
+	Revision      string           `json:"revision,omitempty"`
+	GoVersion     string           `json:"go_version"`
+	GOOS          string           `json:"goos"`
+	GOARCH        string           `json:"goarch"`
+	GOMAXPROCS    int              `json:"gomaxprocs"`
+	Scenarios     []ScenarioResult `json:"scenarios"`
+}
+
+// NewRecord returns a Record stamped with the current schema version and
+// runtime environment, ready to receive scenario results.
+func NewRecord(revision string) *Record {
+	return &Record{
+		SchemaVersion: SchemaVersion,
+		Revision:      revision,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+}
+
+// Scenario returns the named scenario result.
+func (r *Record) Scenario(id string) (ScenarioResult, bool) {
+	for _, s := range r.Scenarios {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return ScenarioResult{}, false
+}
+
+// Write encodes the record as indented, field-order-stable JSON with a
+// trailing newline, so committed baselines diff cleanly.
+func Write(w io.Writer, rec *Record) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the record to path via Write.
+func WriteFile(path string, rec *Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	if err := Write(f, rec); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read decodes a record and validates its schema version.
+func Read(r io.Reader) (*Record, error) {
+	var rec Record
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&rec); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	if rec.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%w: schema version %d, this binary speaks %d (refresh the baseline deliberately)",
+			ErrBadRecord, rec.SchemaVersion, SchemaVersion)
+	}
+	return &rec, nil
+}
+
+// ReadFile reads a record from path via Read.
+func ReadFile(path string) (*Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRecord, err)
+	}
+	defer f.Close()
+	rec, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return rec, nil
+}

@@ -1,0 +1,242 @@
+package perf
+
+import (
+	"context"
+	"testing"
+
+	"memreliability/internal/core"
+	"memreliability/internal/estimator"
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+	"memreliability/internal/stats"
+)
+
+// chunkTrials mirrors the mc harness's chunk size: the per-chunk
+// scenarios below measure exactly one steady-state chunk of work.
+const chunkTrials = 8192
+
+// Scenario is one entry of the fixed benchmark suite.
+type Scenario struct {
+	// ID is the stable identifier recorded in the JSON artifact. IDs are
+	// part of the baseline contract: removing or renaming one fails the
+	// regression gate until the baseline is refreshed deliberately.
+	ID string
+	// Description says what the scenario exercises.
+	Description string
+	// Trials is the Monte Carlo trial count one operation consumes (0
+	// for deterministic scenarios); it converts ns/op into trials/sec.
+	Trials int
+	// ZeroAlloc marks the scenario for the strict allocation gate: any
+	// allocs/op growth over the baseline fails, regardless of time
+	// tolerances. Only scenarios whose allocs/op is exactly stable
+	// (independent of the benchmark iteration count) belong here.
+	ZeroAlloc bool
+	// Bench is the measured body, a standard testing benchmark.
+	Bench func(b *testing.B)
+}
+
+// sink defeats dead-code elimination of benchmark bodies.
+var sink int
+
+// query builds the suite's estimator queries from one normal form.
+func query(kind estimator.Kind, model string, threads, prefixLen, trials int, seed uint64) estimator.Query {
+	q := estimator.DefaultQuery()
+	q.Kind = kind
+	q.Model = model
+	q.Threads = threads
+	q.PrefixLen = prefixLen
+	q.Trials = trials
+	q.Seed = seed
+	return q
+}
+
+// benchEstimate measures the registry dispatch of a fixed query on a
+// single Monte Carlo worker, so ns/op reflects per-trial cost rather
+// than the measuring machine's core count — records stay comparable
+// across runner classes (results are worker-count invariant anyway).
+func benchEstimate(q estimator.Query) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := estimator.EstimateExec(context.Background(), q, estimator.Exec{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += res.TrialsUsed
+		}
+	}
+}
+
+// coinBatch is the suite's trivial allocation-free batch trial; with it,
+// the harness's own dispatch overhead is everything being measured.
+func coinBatch(src *rng.Source, out []bool) error {
+	for i := range out {
+		out[i] = src.Uint64()&1 == 0
+	}
+	return nil
+}
+
+// coinTrial is the per-trial closure equivalent of coinBatch.
+func coinTrial(src *rng.Source) (bool, error) {
+	return src.Uint64()&1 == 0, nil
+}
+
+// Suite returns the fixed benchmark suite, in canonical order. The
+// scenario set and parameters are versioned by SchemaVersion: changing
+// either requires a deliberate baseline refresh.
+func Suite() []Scenario {
+	return []Scenario{
+		{
+			ID:          "exact-dp/tso-n2-m14",
+			Description: "exact n=2 dynamic program (Theorem 6.2), TSO, m=14",
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := core.Config{Model: memmodel.TSO(), Threads: 2, PrefixLen: 14,
+					StoreProb: 0.5, SwapProb: 0.5}
+				for i := 0; i < b.N; i++ {
+					if _, err := core.ExactTwoThreadPrA(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+		},
+		{
+			ID:          "windowdist/tso-m14",
+			Description: "exact window distribution Pr[B_γ] through the estimator registry, TSO, m=14",
+			Bench:       benchEstimate(query(estimator.WindowDist, "TSO", 2, 14, 0, 1)),
+		},
+		{
+			ID:          "fixed-mc/tso-n2-m24-16k",
+			Description: "fixed-trials full Monte Carlo through the registry (batched hot path), TSO, n=2, m=24, 16384 trials",
+			Trials:      16384,
+			Bench:       benchEstimate(query(estimator.FullMC, "TSO", 2, 24, 16384, 1)),
+		},
+		{
+			ID:          "adaptive-mc/tso-n2-m24-hw0.01",
+			Description: "adaptive-precision full Monte Carlo to a ±0.01 Wilson half-width, TSO, n=2, m=24, budget 65536",
+			Bench: func() func(b *testing.B) {
+				q := query(estimator.FullMC, "TSO", 2, 24, 65536, 1)
+				q.Precision = &estimator.Precision{TargetHalfWidth: 0.01}
+				return benchEstimate(q)
+			}(),
+		},
+		{
+			ID:          "hybrid/wo-n6-m32-8k",
+			Description: "Theorem 6.1 hybrid estimate through the registry (batched product expectation), WO, n=6, m=32, 8192 trials",
+			Trials:      8192,
+			Bench:       benchEstimate(query(estimator.Hybrid, "WO", 6, 32, 8192, 1)),
+		},
+		{
+			ID:          "mc-closure/coin-64k",
+			Description: "harness overhead, per-trial closure route: 65536 trivial coin trials, one worker",
+			Trials:      65536,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := mc.Config{Trials: 65536, Workers: 1, Seed: 1}
+				for i := 0; i < b.N; i++ {
+					res, err := mc.EstimateProbability(context.Background(), cfg, coinTrial)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += res.Proportion.Successes()
+				}
+			},
+		},
+		{
+			ID:          "mc-batch/coin-64k",
+			Description: "harness overhead, batched route: 65536 trivial coin trials, one worker",
+			Trials:      65536,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := mc.Config{Trials: 65536, Workers: 1, Seed: 1}
+				for i := 0; i < b.N; i++ {
+					res, err := mc.EstimateProbabilityBatch(context.Background(), cfg, coinBatch)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink += res.Proportion.Successes()
+				}
+			},
+		},
+		{
+			ID:          "mc-batch/chunk-8k",
+			Description: "steady-state batch chunk: fill one 8192-trial buffer and count successes (the fixed-MC inner loop)",
+			Trials:      chunkTrials,
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				src := rng.New(1)
+				out := make([]bool, chunkTrials)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := coinBatch(src, out); err != nil {
+						b.Fatal(err)
+					}
+					n := 0
+					for _, ok := range out {
+						if ok {
+							n++
+						}
+					}
+					sink += n
+				}
+			},
+		},
+		{
+			ID:          "mc-mean-batch/chunk-8k",
+			Description: "steady-state mean batch chunk: fill one 8192-sample buffer and fold it into a Summary",
+			Trials:      chunkTrials,
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				src := rng.New(1)
+				out := make([]float64, chunkTrials)
+				var sum stats.Summary
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range out {
+						out[j] = src.Float64()
+					}
+					for _, v := range out {
+						sum.Add(v)
+					}
+				}
+				sink += sum.N()
+			},
+		},
+	}
+}
+
+// RunScenario measures one scenario with the standard benchmark driver
+// (respecting -test.benchtime when testing.Init has registered it).
+func RunScenario(s Scenario) ScenarioResult {
+	r := testing.Benchmark(s.Bench)
+	res := ScenarioResult{
+		ID:          s.ID,
+		Ops:         r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		ZeroAlloc:   s.ZeroAlloc,
+	}
+	if s.Trials > 0 && res.NsPerOp > 0 {
+		res.TrialsPerSec = float64(s.Trials) * 1e9 / res.NsPerOp
+	}
+	return res
+}
+
+// RunSuite measures every suite scenario in order and returns the
+// stamped record. progress, when non-nil, receives each result as it
+// completes.
+func RunSuite(revision string, progress func(ScenarioResult)) *Record {
+	rec := NewRecord(revision)
+	for _, s := range Suite() {
+		res := RunScenario(s)
+		rec.Scenarios = append(rec.Scenarios, res)
+		if progress != nil {
+			progress(res)
+		}
+	}
+	return rec
+}

@@ -474,8 +474,12 @@ func CellResultOf(cell Cell, res estimator.Result) CellResult {
 }
 
 // runCell evaluates one cell on its private RNG substream by dispatching
-// its query through the estimator registry. innerWorkers bounds the
-// cell's Monte Carlo parallelism (scheduling only).
+// its query through the estimator registry. Trial-consuming cells (mc,
+// hybrid) execute on the mc harness's batched hot path — whole chunks
+// per batch call, zero steady-state allocations — which the registry
+// routes give every cell for free; artifacts stay bit-identical to the
+// per-trial era. innerWorkers bounds the cell's Monte Carlo parallelism
+// (scheduling only).
 func runCell(ctx context.Context, spec Spec, cell Cell, seed uint64, innerWorkers int, timing bool) (CellResult, error) {
 	res, err := estimator.Run(ctx, spec.Query(cell), seed,
 		estimator.Exec{Workers: innerWorkers, Timing: timing})

@@ -54,6 +54,18 @@ type Interval = analytic.Interval
 // Config configures a joined-model experiment.
 type Config = core.Config
 
+// BatchTrial is the Monte Carlo harness's batched trial interface: one
+// call fills a whole chunk's output buffer from the chunk's RNG
+// substream, eliminating per-trial call overhead and steady-state
+// allocations. Config.NoBugBatch builds one for the joined process;
+// custom experiments can implement it directly and run it through the
+// internal harness via the estimator registry.
+type BatchTrial = mc.BatchTrial
+
+// BatchMean is the batched form of a real-valued sampler, used by the
+// Theorem 6.1 hybrid route's product expectation (Config.ProductBatch).
+type BatchMean = mc.BatchMean
+
 // HybridResult is a Theorem 6.1 hybrid estimate.
 type HybridResult = core.HybridResult
 
