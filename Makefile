@@ -8,7 +8,7 @@ GO ?= go
 # Pinned staticcheck (2025.1.1); CI installs exactly this version.
 STATICCHECK_VERSION ?= v0.6.1
 
-.PHONY: all build test bench bench-adaptive bench-compare staticcheck staticcheck-install lint smoke-serve vuln ci
+.PHONY: all build test bench bench-adaptive bench-bits bench-compare staticcheck staticcheck-install lint smoke-serve vuln ci
 
 all: ci
 
@@ -53,6 +53,12 @@ bench:
 bench-adaptive:
 	$(GO) test -bench=AdaptivePrecision -benchtime=1x -run='^$$'
 
+# bench-bits is the bit-parallel zero-alloc gate: run just the steady-state
+# chunk scenarios with membench's unconditional zero-alloc check (no
+# baseline needed) — fast enough to run on every hot-path change.
+bench-bits:
+	$(GO) run ./cmd/membench -rev bits -o BENCH_bits.json -only '^(bits-kernel|core-nobug-bits|mc-batch|mc-mean-batch)/'
+
 # bench-compare is the perf-regression gate: run the canonical
 # cmd/membench suite, emit BENCH_new.json, and compare it against the
 # committed BENCH_baseline.json with the CI tolerances — fail on >2x
@@ -72,4 +78,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: lint staticcheck build test bench bench-adaptive bench-compare smoke-serve vuln
+ci: lint staticcheck build test bench bench-adaptive bench-bits bench-compare smoke-serve vuln

@@ -15,6 +15,12 @@
 //	membench -o BENCH_dev.json                       # run suite, write record
 //	membench -list                                   # print scenario ids
 //	membench -compare-only -baseline OLD -o NEW      # diff two records, no run
+//	membench -only 'bits|chunk' -o BENCH_bits.json   # run a focused subset
+//
+// Zero-alloc scenarios are gated unconditionally: any measured
+// allocation on one fails the run (disable with -require-zero-alloc=false
+// when investigating), so a new zero-alloc scenario is enforced from the
+// commit that introduces it, not from the next baseline refresh.
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"testing"
 
 	"memreliability/internal/perf"
@@ -51,11 +58,18 @@ func run(args []string, out, progress io.Writer) error {
 	list := fs.Bool("list", false, "print the suite's scenario ids and exit")
 	benchtime := fs.String("benchtime", "", "per-scenario measurement budget (Go benchtime syntax, e.g. 0.5s or 10x; default 1s)")
 	maxNsRatio := fs.Float64("max-ns-ratio", perf.DefaultMaxNsRatio, "fail when a scenario's ns/op grows beyond this ratio of the baseline")
+	only := fs.String("only", "", "run only scenarios whose id matches this regexp (focused runs; incompatible with -baseline)")
+	requireZeroAlloc := fs.Bool("require-zero-alloc", true, "fail when any zero-alloc scenario allocates at all, baseline or not")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *only != "" && *baseline != "" {
+		// A filtered record is missing scenarios by construction; comparing
+		// it against a full baseline would report them all as regressions.
+		return errors.New("-only cannot be combined with -baseline")
 	}
 
 	if *list {
@@ -87,8 +101,25 @@ func run(args []string, out, progress io.Writer) error {
 				return fmt.Errorf("bad -benchtime: %w", err)
 			}
 		}
-		fmt.Fprintf(progress, "running %d scenarios (go %s)\n", len(perf.Suite()), perf.NewRecord("").GoVersion)
-		fresh = perf.RunSuite(*rev, func(res perf.ScenarioResult) {
+		scenarios := perf.Suite()
+		if *only != "" {
+			re, err := regexp.Compile(*only)
+			if err != nil {
+				return fmt.Errorf("bad -only: %w", err)
+			}
+			kept := scenarios[:0:0]
+			for _, s := range scenarios {
+				if re.MatchString(s.ID) {
+					kept = append(kept, s)
+				}
+			}
+			if len(kept) == 0 {
+				return fmt.Errorf("-only %q matches no scenarios", *only)
+			}
+			scenarios = kept
+		}
+		fmt.Fprintf(progress, "running %d scenarios (go %s)\n", len(scenarios), perf.NewRecord("").GoVersion)
+		fresh = perf.RunScenarios(*rev, scenarios, func(res perf.ScenarioResult) {
 			fmt.Fprintf(progress, "  %-34s %14.0f ns/op %8.0f allocs/op", res.ID, res.NsPerOp, res.AllocsPerOp)
 			if res.TrialsPerSec > 0 {
 				fmt.Fprintf(progress, " %14.0f trials/s", res.TrialsPerSec)
@@ -101,6 +132,15 @@ func run(args []string, out, progress io.Writer) error {
 		fmt.Fprintf(progress, "wrote %s\n", *outPath)
 	}
 
+	if *requireZeroAlloc {
+		if bad := perf.ZeroAllocViolations(fresh); len(bad) > 0 {
+			for _, s := range bad {
+				fmt.Fprintf(out, "zero-alloc violation: %-34s %.0f allocs/op\n", s.ID, s.AllocsPerOp)
+			}
+			return errRegression
+		}
+	}
+
 	if *baseline == "" {
 		return nil
 	}
@@ -108,7 +148,8 @@ func run(args []string, out, progress io.Writer) error {
 	if err != nil {
 		return err
 	}
-	report, err := perf.Compare(base, fresh, perf.Tolerances{MaxNsRatio: *maxNsRatio})
+	report, err := perf.Compare(base, fresh,
+		perf.Tolerances{MaxNsRatio: *maxNsRatio, RequireZeroAlloc: *requireZeroAlloc})
 	if err != nil {
 		return err
 	}

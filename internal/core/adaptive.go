@@ -17,11 +17,11 @@ import (
 // invariant, and bit-identical to the fixed-trials route when the budget
 // is exhausted.
 func EstimateNoBugProbAdaptive(ctx context.Context, cfg Config, acfg mc.AdaptiveConfig) (*mc.AdaptiveResult, error) {
-	batch, err := cfg.NoBugBatch()
+	batch, err := cfg.NoBugBits()
 	if err != nil {
 		return nil, err
 	}
-	return mc.EstimateAdaptiveBatch(ctx, acfg, batch)
+	return mc.EstimateAdaptiveBits(ctx, acfg, batch)
 }
 
 // HybridAdaptiveResult is the outcome of an adaptive Theorem 6.1 hybrid

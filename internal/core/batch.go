@@ -9,15 +9,14 @@ import (
 	"memreliability/internal/shift"
 )
 
-// This file ports the joined-model trials to the mc batch interface —
-// the harness's zero-allocation hot path. A batch constructor validates
-// the configuration and builds the settle options once, and each batch
-// call reuses one segments buffer across its whole chunk, so the
-// per-trial overhead of the closure route (validation, option
-// construction, a fresh segments slice) is paid once per chunk instead
-// of once per trial. RNG consumption is routed through the same
-// sampleSegmentsInto routine the closures use, so batch and closure
-// estimates are bit-identical for the same (seed, trials).
+// This file holds the []bool reference implementation of the batched
+// joined-model trial and the kernel-backed product batch. NoBugBatch
+// routes RNG consumption through the same sampleSegmentsInto routine
+// the closures use, so it is bit-identical to the closure route by
+// construction; the bit-parallel hot path (NoBugBits, kernel.go) is in
+// turn property-tested against NoBugBatch. Estimation entry points run
+// on the kernel; NoBugBatch stays as the oracle those tests compare
+// against.
 
 // productOf computes Π_{i=1}^{n-1} 2^-i·Γᵢ — the Theorem 6.1 expectation
 // integrand — from one draw of segment lengths, in log space.
@@ -29,11 +28,14 @@ func productOf(segments []int) float64 {
 	return math.Exp(logProduct)
 }
 
-// NoBugBatch returns the batched form of the full joined-process trial:
-// out[i] reports whether the bug did NOT manifest (the event A) on the
-// i-th trial. The returned batch is safe for the harness's concurrent
-// per-chunk calls — all captured state is immutable, and the reused
-// segments buffer is local to each call.
+// NoBugBatch returns the []bool-batched form of the full joined-process
+// trial: out[i] reports whether the bug did NOT manifest (the event A)
+// on the i-th trial. It is the reference implementation the bit-parallel
+// NoBugBits is property-tested against — kept deliberately on the
+// shared sampleSegmentsInto routine, not the kernel. The returned batch
+// is safe for the harness's concurrent per-chunk calls — all captured
+// state is immutable, and the reused segments buffer is local to each
+// call.
 func (c Config) NoBugBatch() (mc.BatchTrial, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -61,24 +63,19 @@ func (c Config) NoBugBatch() (mc.BatchTrial, error) {
 
 // ProductBatch returns the batched form of the Theorem 6.1 product
 // trial: out[i] is one sample of Π_{i=1}^{n-1} 2^-i·Γᵢ from a fresh
-// joined-process draw. Concurrency contract as NoBugBatch.
+// joined-process draw. It runs on the table-driven kernel (one private
+// kernel per call, as NoBugBits), bit-identical to the ProductTrial
+// closure route.
 func (c Config) ProductBatch() (mc.BatchMean, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	opts, err := c.settleOptions()
-	if err != nil {
-		return nil, err
-	}
 	cfg := c
 	return func(src *rng.Source, out []float64) error {
-		segments := make([]int, cfg.Threads)
-		for i := range out {
-			if err := cfg.sampleSegmentsInto(opts, segments, src); err != nil {
-				return err
-			}
-			out[i] = productOf(segments)
+		k, err := cfg.NewKernel()
+		if err != nil {
+			return err
 		}
-		return nil
+		return k.FillProducts(src, out)
 	}, nil
 }

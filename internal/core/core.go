@@ -151,13 +151,14 @@ func (c Config) ManifestTrial(src *rng.Source) (bool, error) {
 
 // EstimateNoBugProb estimates Pr[A] — the probability the bug does NOT
 // manifest — by full Monte Carlo over the joined process, on the
-// harness's batched hot path (bit-identical to the per-trial route).
+// harness's bit-parallel hot path via the table-driven kernel
+// (bit-identical to the per-trial and []bool routes).
 func EstimateNoBugProb(ctx context.Context, cfg Config, mcCfg mc.Config) (*mc.Result, error) {
-	batch, err := cfg.NoBugBatch()
+	batch, err := cfg.NoBugBits()
 	if err != nil {
 		return nil, err
 	}
-	return mc.EstimateProbabilityBatch(ctx, mcCfg, batch)
+	return mc.EstimateProbabilityBits(ctx, mcCfg, batch)
 }
 
 // ExactTwoThreadPrA returns the exact (up to finite-m truncation, bracketed

@@ -95,9 +95,10 @@ func (exactEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Exe
 }
 
 // fullMCEstimator is full end-to-end Monte Carlo of the joined process.
-// It runs on the mc harness's batched hot path (core.Config.NoBugBatch):
-// whole chunks per call, zero steady-state allocations, bit-identical to
-// the historical per-trial route.
+// It runs on the mc harness's bit-parallel hot path (core.Config.NoBugBits,
+// the table-driven kernel): 64 trials per word, whole chunks per call,
+// zero steady-state allocations, bit-identical to the historical
+// per-trial and []bool routes.
 type fullMCEstimator struct{}
 
 func (fullMCEstimator) Kind() Kind          { return FullMC }
@@ -140,8 +141,9 @@ func (fullMCEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Ex
 }
 
 // hybridEstimator is the Theorem 6.1 hybrid route. Its product
-// expectation runs on the mc harness's batched hot path
-// (core.Config.ProductBatch), bit-identical to the per-trial route.
+// expectation runs on the mc harness's batched hot path via the
+// table-driven kernel (core.Config.ProductBatch), bit-identical to the
+// per-trial route.
 type hybridEstimator struct{}
 
 func (hybridEstimator) Kind() Kind          { return Hybrid }

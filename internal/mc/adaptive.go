@@ -127,27 +127,33 @@ func (r *AdaptiveResult) TrialsUsed() int { return r.Proportion.Trials() }
 // round, and stops as soon as every configured target is met or
 // cfg.MaxTrials is exhausted. See AdaptiveConfig for the reproducibility
 // contract. A canceled run returns ctx.Err() alongside partial results.
-// It adapts the closure onto the batched engine; see
-// EstimateAdaptiveBatch for the hot path.
+// It adapts the closure onto the bitset engine; see
+// EstimateAdaptiveBits for the hot path.
 func EstimateAdaptive(ctx context.Context, cfg AdaptiveConfig, trial Trial) (*AdaptiveResult, error) {
 	if trial == nil {
 		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
 	}
-	return EstimateAdaptiveBatch(ctx, cfg, BatchFromTrial(trial))
+	return EstimateAdaptiveBits(ctx, cfg, BitsFromTrial(trial))
 }
 
-// EstimateAdaptiveBatch is EstimateAdaptive on the batch interface:
-// every round evaluates its chunks whole, one batch call per chunk on a
-// per-worker reusable buffer, so the steady-state loop is free of
-// per-trial call overhead and of allocations. Rounds, stopping, and the
+// EstimateAdaptiveBatch is EstimateAdaptive on the []bool batch
+// interface, adapted onto the bitset engine exactly as
+// EstimateProbabilityBatch is. Rounds, stopping, and the
 // reproducibility contract are exactly EstimateAdaptive's, and results
 // are bit-identical to it for the equivalent closure.
 func EstimateAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch BatchTrial) (*AdaptiveResult, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	if batch == nil {
 		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
+	}
+	return estimateAdaptive(ctx, cfg, boolScratch(batch))
+}
+
+// estimateAdaptive is the shared adaptive engine: deterministic
+// chunk-aligned doubling rounds over the bitset chunk loop,
+// parameterized only by the per-worker scratch factory.
+func estimateAdaptive(ctx context.Context, cfg AdaptiveConfig, newScratch func() probScratch) (*AdaptiveResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	sources, quotas := chunkPlan(Config{Trials: cfg.MaxTrials, Seed: cfg.Seed})
 	successes := make([]int, len(sources))
@@ -156,10 +162,10 @@ func EstimateAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch BatchT
 	result := &AdaptiveResult{}
 	for start := 0; start < len(sources); {
 		end := nextRound(start, len(sources))
-		runErr := runChunksWith(ctx, cfg.Workers, end-start, boolScratch,
-			func(ctx context.Context, j int, out []bool) error {
+		runErr := runChunksWith(ctx, cfg.Workers, end-start, newScratch,
+			func(ctx context.Context, j int, s probScratch) error {
 				chunk := start + j
-				n, err := runProbChunk(ctx, batch, sources[chunk], out[:quotas[chunk]])
+				n, err := runProbChunk(ctx, s.bits, sources[chunk], s.words, quotas[chunk])
 				if err != nil {
 					if err == ctx.Err() {
 						return err

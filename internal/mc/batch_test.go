@@ -147,17 +147,18 @@ func coinBatch(src *rng.Source, out []bool) error {
 }
 
 // TestProbChunkZeroAllocs asserts the steady-state fixed-MC inner loop —
-// one whole chunk evaluated through the batch interface into a reusable
-// buffer — performs zero allocations per chunk.
+// one whole chunk evaluated through the []bool batch adapter into the
+// worker's reusable bitset scratch — performs zero allocations per chunk.
+// (The native bitset path has its own assertion in bits_test.go.)
 func TestProbChunkZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are not stable under the race detector")
 	}
 	ctx := context.Background()
 	src := rng.New(7)
-	out := make([]bool, chunkSize)
+	scratch := boolScratch(coinBatch)()
 	allocs := testing.AllocsPerRun(50, func() {
-		if _, err := runProbChunk(ctx, coinBatch, src, out); err != nil {
+		if _, err := runProbChunk(ctx, scratch.bits, src, scratch.words, chunkSize); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -7,20 +7,28 @@
 // results are merged in chunk order. An estimate therefore depends only
 // on (seed, trials) — never on the worker count or goroutine scheduling.
 //
-// # The batched hot path
+// # The bit-parallel hot path
 //
-// Trials can be driven two ways. The legacy way is a per-trial closure
-// (Trial, MeanEstimator): one dynamic function call per trial. The hot
-// path is the batch interface (BatchTrial, BatchMean): the harness hands
-// an implementation a whole chunk's reusable output buffer and the
-// chunk's RNG substream, and the implementation fills it in one call —
-// so the per-trial call and scheduling overhead disappears, and the
-// steady-state chunk loop performs zero allocations (per-worker scratch
-// buffers are reused across chunks; per-chunk result slots are
-// preallocated). Both paths consume the RNG substreams identically, so a
-// batch run is bit-identical to the equivalent closure run: same chunk
-// plan, same substream derivation, same counts. The closure entry points
-// are thin adapters over the batch engine.
+// Boolean trials can be driven three ways, all bit-identical. The
+// canonical contract is the bitset interface (BatchTrialBits,
+// EstimateProbabilityBits): the harness hands an implementation a whole
+// chunk's reusable []uint64 buffer and the chunk's RNG substream, the
+// implementation packs 64 trial outcomes into each word (LSB-first; see
+// BatchTrialBits for the partial-word contract), and the engine counts
+// successes with bits.OnesCount64 — so the per-trial call, scheduling,
+// and counting overhead all collapse to a fraction of a word operation,
+// and the steady-state chunk loop performs zero allocations (per-worker
+// scratch is reused across chunks; per-chunk result slots are
+// preallocated). The []bool batch interface (BatchTrial,
+// EstimateProbabilityBatch) is a documented adapter over the bitset
+// engine — each worker fills a private bool buffer and packs it — kept
+// as the reference implementation for property tests and for trials
+// that are more natural to express boolean-at-a-time. The per-trial
+// closures (Trial, EstimateProbability) adapt likewise. All three
+// routes consume the RNG substreams identically, so their runs are
+// bit-identical: same chunk plan, same substream derivation, same
+// counts. Real-valued sampling (BatchMean, EstimateMeanBatch) keeps the
+// PR 5 []float64 chunk engine — there is no bitset analog for floats.
 package mc
 
 import (
@@ -48,14 +56,22 @@ const chunkSize = 8192
 type Trial func(src *rng.Source) (success bool, err error)
 
 // BatchTrial evaluates len(out) consecutive trials on src, recording the
-// i-th trial's success in out[i]. It is the batched form of Trial: the
-// harness calls it once per chunk with a reusable buffer, so
-// implementations amortize per-trial setup (validation, option
+// i-th trial's success in out[i]. It is the []bool form of the batch
+// contract: the harness calls it once per chunk with a reusable buffer,
+// so implementations amortize per-trial setup (validation, option
 // construction, scratch buffers) over the whole chunk. An implementation
 // must consume src exactly as len(out) sequential Trial calls would, so
 // batch and closure runs stay bit-identical; distinct calls receive
 // distinct sources and may run concurrently, so any state shared between
 // calls must be immutable.
+//
+// BatchTrialBits is the canonical contract; the engine runs []bool
+// batches through a per-worker pack-to-bitset adapter with identical
+// results (a packed buffer has exactly as many set bits as the bool
+// buffer has trues). Prefer BatchTrialBits for new hot paths; implement
+// BatchTrial when boolean-at-a-time output is more natural — it is a
+// supported adapter, not a deprecated one, and doubles as the reference
+// implementation the bitset property tests are gated on.
 type BatchTrial func(src *rng.Source, out []bool) error
 
 // BatchFromTrial adapts a per-trial closure to the batch interface. The
@@ -180,46 +196,17 @@ func runChunks(ctx context.Context, workers, nChunks int, fn func(ctx context.Co
 		func(ctx context.Context, chunk int, _ struct{}) error { return fn(ctx, chunk) })
 }
 
-// boolScratch allocates one worker's reusable chunk buffer.
-func boolScratch() []bool { return make([]bool, chunkSize) }
-
 // floatScratch allocates one worker's reusable chunk buffer.
 func floatScratch() []float64 { return make([]float64, chunkSize) }
 
 // cancelCheckInterval is the cancellation granularity inside a chunk:
 // the engine slices each chunk into sub-batches of this many trials and
 // checks the context between them, preserving the per-trial era's
-// cancellation latency. Sub-slicing is invisible to results — the
-// BatchTrial contract (sequential consumption of src) makes consecutive
-// sub-slices compose into exactly one whole-chunk call.
+// cancellation latency. Sub-slicing is invisible to results — the batch
+// contracts (sequential consumption of src) make consecutive sub-slices
+// compose into exactly one whole-chunk call. The interval is a multiple
+// of WordBits, so bitset sub-batches always start on a word boundary.
 const cancelCheckInterval = 1024
-
-// runProbChunk evaluates one whole chunk through the batch trial into the
-// worker's reusable buffer and returns the success count. This is the
-// steady-state hot path of every probability estimate: it performs zero
-// allocations per call (asserted by tests).
-func runProbChunk(ctx context.Context, batch BatchTrial, src *rng.Source, out []bool) (successes int, err error) {
-	n := 0
-	for off := 0; off < len(out); off += cancelCheckInterval {
-		if err := ctx.Err(); err != nil {
-			return n, err
-		}
-		end := off + cancelCheckInterval
-		if end > len(out) {
-			end = len(out)
-		}
-		sub := out[off:end]
-		if err := batch(src, sub); err != nil {
-			return n, err
-		}
-		for _, ok := range sub {
-			if ok {
-				n++
-			}
-		}
-	}
-	return n, nil
-}
 
 // runMeanChunk evaluates one whole chunk through the batch sampler into
 // the worker's reusable buffer and folds the observations into the
@@ -261,35 +248,42 @@ func (r *Result) WilsonCI(level float64) (lo, hi float64, err error) {
 // EstimateProbability runs trials of the given Trial function in parallel
 // and returns the aggregated proportion. The context cancels the run early;
 // a canceled run returns ctx.Err() alongside the results of the chunks
-// that completed. It adapts the closure onto the batched engine; see
-// EstimateProbabilityBatch for the hot path.
+// that completed. It adapts the closure onto the bitset engine; see
+// EstimateProbabilityBits for the hot path.
 func EstimateProbability(ctx context.Context, cfg Config, trial Trial) (*Result, error) {
 	if trial == nil {
 		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
 	}
-	return EstimateProbabilityBatch(ctx, cfg, BatchFromTrial(trial))
+	return EstimateProbabilityBits(ctx, cfg, BitsFromTrial(trial))
 }
 
-// EstimateProbabilityBatch runs cfg.Trials trials of the batched trial in
-// parallel and returns the aggregated proportion. Chunks are evaluated
-// whole — one batch call per chunk on a per-worker reusable buffer — so
-// the steady-state loop is free of per-trial call overhead and of
-// allocations. Results are bit-identical to EstimateProbability with the
-// equivalent closure: same chunk plan, same substreams, same counts.
+// EstimateProbabilityBatch runs cfg.Trials trials of the batched []bool
+// trial in parallel and returns the aggregated proportion. It adapts the
+// batch onto the bitset engine (each worker fills a private bool buffer
+// and packs it); results are bit-identical to EstimateProbabilityBits
+// and EstimateProbability with the equivalent trial: same chunk plan,
+// same substreams, same counts.
 func EstimateProbabilityBatch(ctx context.Context, cfg Config, batch BatchTrial) (*Result, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
-	}
 	if batch == nil {
 		return nil, fmt.Errorf("%w: nil trial", ErrBadConfig)
+	}
+	return estimateProbability(ctx, cfg, boolScratch(batch))
+}
+
+// estimateProbability is the shared fixed-trial-count engine: one bitset
+// chunk loop, parameterized only by the per-worker scratch factory the
+// entry points (bitset, []bool adapter, closure adapter) supply.
+func estimateProbability(ctx context.Context, cfg Config, newScratch func() probScratch) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	sources, quotas := chunkPlan(cfg)
 	successes := make([]int, len(sources))
 	trialsRun := make([]int, len(sources))
 
-	runErr := runChunksWith(ctx, cfg.Workers, len(sources), boolScratch,
-		func(ctx context.Context, chunk int, out []bool) error {
-			n, err := runProbChunk(ctx, batch, sources[chunk], out[:quotas[chunk]])
+	runErr := runChunksWith(ctx, cfg.Workers, len(sources), newScratch,
+		func(ctx context.Context, chunk int, s probScratch) error {
+			n, err := runProbChunk(ctx, s.bits, sources[chunk], s.words, quotas[chunk])
 			if err != nil {
 				if err == ctx.Err() {
 					return err

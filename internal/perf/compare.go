@@ -22,10 +22,18 @@ type Tolerances struct {
 	// Zero or negative selects DefaultMaxNsRatio. Zero-alloc scenarios
 	// additionally fail on ANY allocs/op growth, tolerance-free.
 	MaxNsRatio float64
+	// RequireZeroAlloc additionally fails any zero-alloc scenario whose
+	// new allocs/op is not exactly zero — including scenarios absent from
+	// the baseline. Without it a freshly added zero-alloc scenario is
+	// StatusNew and unchecked until the next baseline refresh; with it,
+	// zero-alloc promises are gated from day one.
+	RequireZeroAlloc bool
 }
 
 // DefaultTolerances returns the CI regression gate's tolerances.
-func DefaultTolerances() Tolerances { return Tolerances{MaxNsRatio: DefaultMaxNsRatio} }
+func DefaultTolerances() Tolerances {
+	return Tolerances{MaxNsRatio: DefaultMaxNsRatio, RequireZeroAlloc: true}
+}
 
 func (t Tolerances) maxNsRatio() float64 {
 	if t.MaxNsRatio > 0 {
@@ -121,6 +129,19 @@ func (r *Report) WriteText(w io.Writer) error {
 	return err
 }
 
+// ZeroAllocViolations returns the record's zero-alloc scenarios whose
+// measured allocs/op is not exactly zero — the standalone form of the
+// RequireZeroAlloc gate, usable without a baseline.
+func ZeroAllocViolations(rec *Record) []ScenarioResult {
+	var out []ScenarioResult
+	for _, s := range rec.Scenarios {
+		if s.ZeroAlloc && s.AllocsPerOp > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // Compare diffs a new record against a baseline under the given
 // tolerances. A scenario regresses when its ns/op grows beyond the
 // ratio tolerance, when it disappears from the new record, or — for
@@ -180,6 +201,9 @@ func Compare(old, new *Record, tol Tolerances) (*Report, error) {
 			d.Status = StatusRegressed
 			d.Reason = fmt.Sprintf("allocs/op grew %.0f→%.0f on a zero-alloc scenario",
 				o.AllocsPerOp, n.AllocsPerOp)
+		case tol.RequireZeroAlloc && d.ZeroAlloc && n.AllocsPerOp > 0:
+			d.Status = StatusRegressed
+			d.Reason = fmt.Sprintf("%.0f allocs/op on a zero-alloc scenario", n.AllocsPerOp)
 		}
 		report.Deltas = append(report.Deltas, d)
 	}
@@ -187,10 +211,15 @@ func Compare(old, new *Record, tol Tolerances) (*Report, error) {
 		if seen[n.ID] {
 			continue
 		}
-		report.Deltas = append(report.Deltas, Delta{
+		d := Delta{
 			ID: n.ID, Status: StatusNew, NewNs: n.NsPerOp, NewAllocs: n.AllocsPerOp,
 			ZeroAlloc: n.ZeroAlloc, Reason: "not in baseline",
-		})
+		}
+		if tol.RequireZeroAlloc && n.ZeroAlloc && n.AllocsPerOp > 0 {
+			d.Status = StatusRegressed
+			d.Reason = fmt.Sprintf("%.0f allocs/op on a new zero-alloc scenario", n.AllocsPerOp)
+		}
+		report.Deltas = append(report.Deltas, d)
 	}
 	return report, nil
 }

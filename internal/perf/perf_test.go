@@ -178,6 +178,55 @@ func TestCompareNsRegression(t *testing.T) {
 	}
 }
 
+// TestCompareRequireZeroAlloc checks the day-one gate: a zero-alloc
+// scenario that allocates fails under RequireZeroAlloc even when it is
+// absent from the baseline (StatusNew) or its baseline already
+// allocated (no growth).
+func TestCompareRequireZeroAlloc(t *testing.T) {
+	base := NewRecord("base")
+	base.Scenarios = []ScenarioResult{
+		{ID: "leaky", NsPerOp: 100, AllocsPerOp: 3, ZeroAlloc: true},
+	}
+	fresh := NewRecord("fresh")
+	fresh.Scenarios = []ScenarioResult{
+		{ID: "leaky", NsPerOp: 100, AllocsPerOp: 3, ZeroAlloc: true}, // no growth, but not zero
+		{ID: "fresh-hot", NsPerOp: 10, AllocsPerOp: 1, ZeroAlloc: true},
+		{ID: "fresh-ok", NsPerOp: 10, AllocsPerOp: 0, ZeroAlloc: true},
+	}
+	rep, err := Compare(base, fresh, Tolerances{RequireZeroAlloc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status := make(map[string]Status)
+	for _, d := range rep.Deltas {
+		status[d.ID] = d.Status
+	}
+	if status["leaky"] != StatusRegressed {
+		t.Errorf("leaky = %v, want regressed (allocates on a zero-alloc scenario)", status["leaky"])
+	}
+	if status["fresh-hot"] != StatusRegressed {
+		t.Errorf("fresh-hot = %v, want regressed (new zero-alloc scenario allocates)", status["fresh-hot"])
+	}
+	if status["fresh-ok"] != StatusNew {
+		t.Errorf("fresh-ok = %v, want new", status["fresh-ok"])
+	}
+
+	// Without the flag, the same records pass as before: no growth, and
+	// new scenarios are never gated.
+	rep, err = Compare(base, fresh, Tolerances{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressed() {
+		t.Errorf("regressed without RequireZeroAlloc: %+v", rep.Regressions())
+	}
+
+	if bad := ZeroAllocViolations(fresh); len(bad) != 2 ||
+		bad[0].ID != "leaky" || bad[1].ID != "fresh-hot" {
+		t.Errorf("ZeroAllocViolations = %+v, want leaky+fresh-hot", bad)
+	}
+}
+
 func TestCompareSchemaMismatch(t *testing.T) {
 	base := NewRecord("")
 	fresh := NewRecord("")

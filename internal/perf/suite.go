@@ -82,6 +82,21 @@ func coinTrial(src *rng.Source) (bool, error) {
 	return src.Uint64()&1 == 0, nil
 }
 
+// coinBits is the native-bitset trivial batch: one generator step per
+// word, masked to the mc.BatchTrialBits partial-word contract. With it,
+// the scenario measures the bit-parallel harness floor — 64 trials per
+// RNG draw, zero per-trial work.
+func coinBits(src *rng.Source, out []uint64, n int) error {
+	words := out[:mc.BitWords(n)]
+	for w := range words {
+		words[w] = src.Uint64()
+	}
+	if rem := n & (mc.WordBits - 1); rem != 0 {
+		words[len(words)-1] &= 1<<uint(rem) - 1
+	}
+	return nil
+}
+
 // Suite returns the fixed benchmark suite, in canonical order. The
 // scenario set and parameters are versioned by SchemaVersion: changing
 // either requires a deliberate baseline refresh.
@@ -184,6 +199,48 @@ func Suite() []Scenario {
 			},
 		},
 		{
+			ID:          "bits-kernel/chunk-8k",
+			Description: "steady-state bitset chunk: fill one 8192-trial word buffer and popcount it (the bit-parallel fixed-MC inner loop)",
+			Trials:      chunkTrials,
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				src := rng.New(1)
+				words := make([]uint64, mc.BitWords(chunkTrials))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := coinBits(src, words, chunkTrials); err != nil {
+						b.Fatal(err)
+					}
+					sink += mc.OnesCount(words)
+				}
+			},
+		},
+		{
+			ID:          "core-nobug-bits/chunk-8k",
+			Description: "steady-state joined-process chunk: one prebuilt table-driven kernel fills one 8192-trial word buffer, TSO, n=2, m=24",
+			Trials:      chunkTrials,
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := core.DefaultConfig(memmodel.TSO(), 2)
+				cfg.PrefixLen = 24
+				k, err := cfg.NewKernel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := rng.New(1)
+				words := make([]uint64, mc.BitWords(chunkTrials))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := k.FillBits(src, words, chunkTrials); err != nil {
+						b.Fatal(err)
+					}
+					sink += mc.OnesCount(words)
+				}
+			},
+		},
+		{
 			ID:          "mc-mean-batch/chunk-8k",
 			Description: "steady-state mean batch chunk: fill one 8192-sample buffer and fold it into a Summary",
 			Trials:      chunkTrials,
@@ -230,8 +287,15 @@ func RunScenario(s Scenario) ScenarioResult {
 // stamped record. progress, when non-nil, receives each result as it
 // completes.
 func RunSuite(revision string, progress func(ScenarioResult)) *Record {
+	return RunScenarios(revision, Suite(), progress)
+}
+
+// RunScenarios measures the given scenarios in order and returns the
+// stamped record — RunSuite over a caller-selected subset (e.g.
+// membench -only).
+func RunScenarios(revision string, scenarios []Scenario, progress func(ScenarioResult)) *Record {
 	rec := NewRecord(revision)
-	for _, s := range Suite() {
+	for _, s := range scenarios {
 		res := RunScenario(s)
 		rec.Scenarios = append(rec.Scenarios, res)
 		if progress != nil {

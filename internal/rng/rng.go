@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Source is a xoshiro256** pseudo-random number generator.
@@ -53,22 +54,23 @@ func New(seed uint64) *Source {
 
 // rotl rotates x left by k bits.
 func rotl(x uint64, k uint) uint64 {
-	return (x << k) | (x >> (64 - k))
+	return bits.RotateLeft64(x, int(k))
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.
+//
+// The body is written to fit the compiler's inlining budget — the
+// generator steps inline into the Bool-draw hot loops of the settling
+// and shift kernels, where call overhead would otherwise dominate.
 func (r *Source) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-
-	t := r.s[1] << 17
+	s1 := r.s[1]
 	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
+	r.s[3] ^= s1
 	r.s[1] ^= r.s[2]
 	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-
-	return result
+	r.s[2] ^= s1 << 17
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return bits.RotateLeft64(s1*5, 7) * 9
 }
 
 // Split derives a new Source whose stream is independent of the parent's
@@ -88,8 +90,10 @@ func (r *Source) Split() *Source {
 
 // Float64 returns a uniform float64 in [0, 1).
 func (r *Source) Float64() float64 {
-	// 53 high bits give the standard dyadic uniform variate.
-	return float64(r.Uint64()>>11) / (1 << 53)
+	// 53 high bits give the standard dyadic uniform variate. Scaling by
+	// the reciprocal is exact (a power-of-two exponent shift), so this is
+	// bit-identical to dividing by 2^53 — and cheaper.
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bool returns true with probability p.

@@ -25,6 +25,12 @@
 // legacy helpers (now documented shims) all adapt onto it, so
 // validation, clamping, and defaults are defined exactly once.
 //
+// The Monte Carlo harness underneath is bit-parallel: batched trials
+// emit 64 outcomes per uint64 word (BatchTrialBits) and successes are
+// counted by popcount, with the []bool and per-trial interfaces kept as
+// adapters that produce bit-identical estimates. Custom experiments
+// reach the same engine through EstimateProbabilityBits.
+//
 // Types are re-exported as aliases so downstream code needs only this
 // package for the common workflows; the cmd/ tools and examples/ show
 // complete usage.
@@ -54,17 +60,71 @@ type Interval = analytic.Interval
 // Config configures a joined-model experiment.
 type Config = core.Config
 
-// BatchTrial is the Monte Carlo harness's batched trial interface: one
-// call fills a whole chunk's output buffer from the chunk's RNG
-// substream, eliminating per-trial call overhead and steady-state
-// allocations. Config.NoBugBatch builds one for the joined process;
-// custom experiments can implement it directly and run it through the
-// internal harness via the estimator registry.
+// BatchTrialBits is the Monte Carlo harness's canonical batched trial
+// interface: one call evaluates n consecutive trials on the chunk's RNG
+// substream and packs the outcomes 64 per uint64 word, LSB-first —
+// trial i lands in bit i%64 of out[i/64]. When n is not a multiple of
+// 64, the unused high bits of the final word must be written as zero
+// (the harness popcounts whole words). Config.NoBugBits builds one for
+// the joined process; custom experiments implement it directly for the
+// bit-parallel hot path (see examples/bitstrial) and run it with
+// EstimateProbabilityBits. PackBools satisfies the packing contract for
+// implementations that naturally produce booleans.
+type BatchTrialBits = mc.BatchTrialBits
+
+// BatchTrial is the []bool batched trial interface — an adapter form
+// over BatchTrialBits: the harness packs its output into bitsets
+// (PackBools) on a per-worker buffer, so it keeps the zero
+// steady-state-allocation property at a small packing cost.
+// Config.NoBugBatch builds one for the joined process; it remains fully
+// supported as the convenient interface when bit packing is not worth
+// hand-writing.
 type BatchTrial = mc.BatchTrial
 
 // BatchMean is the batched form of a real-valued sampler, used by the
 // Theorem 6.1 hybrid route's product expectation (Config.ProductBatch).
+// Real-valued samples have no bitset form; this interface is not an
+// adapter.
 type BatchMean = mc.BatchMean
+
+// MCWordBits is the number of trials packed into one BatchTrialBits
+// word.
+const MCWordBits = mc.WordBits
+
+// MCBitWords returns the number of uint64 words a BatchTrialBits output
+// buffer needs for n trials: ⌈n/64⌉.
+func MCBitWords(n int) int { return mc.BitWords(n) }
+
+// MCPackBools packs boolean trial outcomes into dst under the
+// BatchTrialBits layout, zeroing the unused high bits of the final word
+// per the partial-word contract. len(dst) must be at least
+// MCBitWords(len(src)).
+func MCPackBools(dst []uint64, src []bool) { mc.PackBools(dst, src) }
+
+// MCConfig configures a direct Monte Carlo run (trials, workers, seed).
+// Most callers should prefer a Query through Estimate; the direct
+// harness entry points below exist for custom BatchTrialBits
+// experiments outside the registry's kinds.
+type MCConfig = mc.Config
+
+// MCResult is a direct Monte Carlo estimate with its Wilson interval.
+type MCResult = mc.Result
+
+// EstimateProbabilityBits runs a custom bit-parallel batched trial
+// through the Monte Carlo harness: deterministic chunked substreams
+// (results depend only on cfg.Trials and cfg.Seed, never on
+// cfg.Workers), zero steady-state allocations, cooperative
+// cancellation. This is the same engine every registry kind runs on.
+func EstimateProbabilityBits(ctx context.Context, cfg MCConfig, batch BatchTrialBits) (*MCResult, error) {
+	return mc.EstimateProbabilityBits(ctx, cfg, batch)
+}
+
+// EstimateProbabilityBatch is the []bool adapter over
+// EstimateProbabilityBits: same engine, same guarantees, identical
+// estimates for implementations that consume the RNG identically.
+func EstimateProbabilityBatch(ctx context.Context, cfg MCConfig, batch BatchTrial) (*MCResult, error) {
+	return mc.EstimateProbabilityBatch(ctx, cfg, batch)
+}
 
 // HybridResult is a Theorem 6.1 hybrid estimate.
 type HybridResult = core.HybridResult

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"memreliability/internal/rng"
 )
 
 func TestFacadeModels(t *testing.T) {
@@ -326,5 +328,45 @@ func TestFacadeLitmus(t *testing.T) {
 		if !r.Conforms() {
 			t.Errorf("%s under %s does not conform", r.Test, r.Model)
 		}
+	}
+}
+
+// TestFacadeBitsHarness exercises the direct bit-parallel harness entry
+// points: a custom BatchTrialBits built with MCPackBools must produce
+// the same estimate as the equivalent []bool BatchTrial, word-count
+// helpers included, independent of the worker budget.
+func TestFacadeBitsHarness(t *testing.T) {
+	if MCWordBits != 64 || MCBitWords(65) != 2 || MCBitWords(64) != 1 {
+		t.Fatalf("word helpers wrong: MCWordBits=%d MCBitWords(65)=%d", MCWordBits, MCBitWords(65))
+	}
+	bools := func(src *rng.Source, out []bool) error {
+		for i := range out {
+			out[i] = src.Uint64()%3 == 0
+		}
+		return nil
+	}
+	bits := func(src *rng.Source, out []uint64, n int) error {
+		buf := make([]bool, n)
+		if err := bools(src, buf); err != nil {
+			return err
+		}
+		MCPackBools(out, buf)
+		return nil
+	}
+	cfg := MCConfig{Trials: 10_000, Seed: 3}
+	viaBits, err := EstimateProbabilityBits(context.Background(), cfg, bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 4
+	viaBools, err := EstimateProbabilityBatch(context.Background(), cfg, bools)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaBits.Proportion.Successes() != viaBools.Proportion.Successes() {
+		t.Errorf("bits=%d bools=%d successes", viaBits.Proportion.Successes(), viaBools.Proportion.Successes())
+	}
+	if math.Abs(viaBits.Proportion.Estimate()-1.0/3.0) > 0.02 {
+		t.Errorf("estimate %v far from 1/3", viaBits.Proportion.Estimate())
 	}
 }
