@@ -57,7 +57,7 @@ bench-adaptive:
 # chunk scenarios with membench's unconditional zero-alloc check (no
 # baseline needed) — fast enough to run on every hot-path change.
 bench-bits:
-	$(GO) run ./cmd/membench -rev bits -o BENCH_bits.json -only '^(bits-kernel|core-nobug-bits|mc-batch|mc-mean-batch)/'
+	$(GO) run ./cmd/membench -rev bits -o BENCH_bits.json -only '^(bits-kernel|core-nobug-bits|mc-batch|mc-mean-batch|mc-instrumented|obs-metrics)/'
 
 # bench-compare is the perf-regression gate: run the canonical
 # cmd/membench suite, emit BENCH_new.json, and compare it against the

@@ -30,6 +30,8 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"testing"
 
 	"memreliability/internal/perf"
@@ -60,6 +62,8 @@ func run(args []string, out, progress io.Writer) error {
 	maxNsRatio := fs.Float64("max-ns-ratio", perf.DefaultMaxNsRatio, "fail when a scenario's ns/op grows beyond this ratio of the baseline")
 	only := fs.String("only", "", "run only scenarios whose id matches this regexp (focused runs; incompatible with -baseline)")
 	requireZeroAlloc := fs.Bool("require-zero-alloc", true, "fail when any zero-alloc scenario allocates at all, baseline or not")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -119,6 +123,20 @@ func run(args []string, out, progress io.Writer) error {
 			scenarios = kept
 		}
 		fmt.Fprintf(progress, "running %d scenarios (go %s)\n", len(scenarios), perf.NewRecord("").GoVersion)
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				return fmt.Errorf("create cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("start cpuprofile: %w", err)
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			}()
+		}
 		fresh = perf.RunScenarios(*rev, scenarios, func(res perf.ScenarioResult) {
 			fmt.Fprintf(progress, "  %-34s %14.0f ns/op %8.0f allocs/op", res.ID, res.NsPerOp, res.AllocsPerOp)
 			if res.TrialsPerSec > 0 {
@@ -126,6 +144,20 @@ func run(args []string, out, progress io.Writer) error {
 			}
 			fmt.Fprintln(progress)
 		})
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				return fmt.Errorf("create memprofile: %w", err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("write memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
 		if err := perf.WriteFile(*outPath, fresh); err != nil {
 			return err
 		}

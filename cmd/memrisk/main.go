@@ -23,9 +23,33 @@ import (
 	"memreliability/internal/estimator"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
+	"memreliability/internal/obs"
 	"memreliability/internal/report"
 	"memreliability/internal/sweep"
 )
+
+// withTrace attaches a root span to ctx when path is nonempty and
+// returns a flush function that ends the span and writes the trace JSON
+// to path. Tracing never perturbs results: spans observe the run's
+// barriers, they do not steer it.
+func withTrace(ctx context.Context, path, rootName string) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	root := obs.NewTrace(rootName)
+	return obs.WithSpan(ctx, root), func() error {
+		root.End()
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		if err := root.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}
 
 // fullMCMaxThreads bounds the thread count for which full Monte Carlo is
 // worth running: beyond it Pr[A] is too small to sample directly
@@ -52,13 +76,17 @@ func run(args []string, out io.Writer) error {
 	ciHalf := fs.Float64("ci-halfwidth", 0, "adaptive: stop when the CI half-width is ≤ this (0 = fixed trials)")
 	ciRelErr := fs.Float64("ci-relerr", 0, "adaptive: stop when half-width ≤ relerr × estimate (0 = fixed trials)")
 	maxTrials := fs.Int("max-trials", 0, "adaptive trial budget cap (0 = -trials); only with -ci-halfwidth/-ci-relerr")
+	traceJSON := fs.String("trace-json", "", "write the run's span tree as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	ctx := context.Background()
+	ctx, flushTrace := withTrace(context.Background(), *traceJSON, "memrisk")
 
 	if *doSweep {
-		return runSweep(ctx, out, *trials, *seed)
+		if err := runSweep(ctx, out, *trials, *seed); err != nil {
+			return err
+		}
+		return flushTrace()
 	}
 
 	model, err := memmodel.ByName(*modelName)
@@ -143,7 +171,10 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	return tbl.WriteText(out)
+	if err := tbl.WriteText(out); err != nil {
+		return err
+	}
+	return flushTrace()
 }
 
 // addPaperRow appends the paper's Theorem 6.2 closed-form constant, where

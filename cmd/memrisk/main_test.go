@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -92,5 +95,34 @@ func TestRunSweep(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "ratio to SC") || !strings.Contains(out, "WO") {
 		t.Errorf("sweep output malformed:\n%s", out)
+	}
+}
+
+// TestTraceJSON pins the -trace-json flag: the run succeeds and the file
+// holds a span tree rooted at memrisk with per-route estimate children.
+func TestTraceJSON(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	var sb strings.Builder
+	err := run([]string{"-model", "TSO", "-threads", "2", "-trials", "2000",
+		"-seed", "5", "-trace-json", trace}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var span struct {
+		Name     string `json:"name"`
+		Children []any  `json:"children"`
+	}
+	if err := json.Unmarshal(raw, &span); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if span.Name != "memrisk" {
+		t.Errorf("trace root = %q, want memrisk", span.Name)
+	}
+	if len(span.Children) == 0 {
+		t.Error("trace has no estimate spans")
 	}
 }

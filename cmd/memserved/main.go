@@ -9,11 +9,14 @@
 //
 //	memserved                          # listen on :8080
 //	memserved -addr 127.0.0.1:9090 -cache-size 4096 -sweep-workers 2
+//	memserved -pprof-addr 127.0.0.1:6060   # profiling on a separate port
 //
 // Endpoints: POST /v1/estimate, POST /v1/windowdist, GET /v1/litmus,
 // POST /v1/sweeps (+ GET /v1/sweeps, /v1/sweeps/{id},
-// /v1/sweeps/{id}/artifact), GET /healthz, GET /metrics. See the README
-// for the endpoint reference and curl examples.
+// /v1/sweeps/{id}/artifact), GET /healthz, GET /metrics (legacy expvar
+// JSON), GET /metrics/prom (Prometheus text exposition). Every response
+// carries an X-Request-ID; "X-Trace: 1" wraps the response in a span-tree
+// envelope. See the README for the endpoint reference and curl examples.
 package main
 
 import (
@@ -22,8 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +57,8 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	queueDepth := fs.Int("queue-depth", 0, "queued sweep jobs before 503 (0 = 16)")
 	maxJobs := fs.Int("max-jobs", 0, "retained sweep jobs incl. finished artifacts; oldest terminal evicted beyond this (0 = 64)")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget for open connections")
+	logRequests := fs.Bool("log-requests", true, "emit one structured JSON log line per request (request_id, route, status, latency)")
+	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,14 +67,49 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	return serveListener(ctx, l, serve.Config{
+
+	cfg := serve.Config{
 		CacheSize:        *cacheSize,
 		EstimateWorkers:  *estimateWorkers,
 		SweepWorkers:     *sweepWorkers,
 		SweepCellWorkers: *sweepCellWorkers,
 		QueueDepth:       *queueDepth,
 		MaxJobs:          *maxJobs,
-	}, *drainTimeout, logw)
+	}
+	if *logRequests {
+		cfg.Logger = slog.New(slog.NewJSONHandler(logw, nil))
+	}
+
+	if *pprofAddr != "" {
+		stopProf, err := startPprof(*pprofAddr, logw)
+		if err != nil {
+			l.Close()
+			return err
+		}
+		defer stopProf()
+	}
+
+	return serveListener(ctx, l, cfg, *drainTimeout, logw)
+}
+
+// startPprof serves the standard pprof handlers on their own listener —
+// a separate address so profiling is never exposed through the API
+// port. The returned stop function closes the profiling server.
+func startPprof(addr string, logw io.Writer) (func(), error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	fmt.Fprintf(logw, "memserved: pprof on %s/debug/pprof/\n", l.Addr())
+	return func() { srv.Close() }, nil
 }
 
 // serveListener runs the service on l until ctx is canceled, then drains:

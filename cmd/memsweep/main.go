@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"memreliability/internal/estimator"
+	"memreliability/internal/obs"
 	"memreliability/internal/sweep"
 )
 
@@ -60,6 +61,7 @@ func run(ctx context.Context, args []string, out, progress io.Writer) error {
 	format := fs.String("format", "text", "stdout rendering: text, csv, markdown, or json")
 	quiet := fs.Bool("quiet", false, "suppress per-cell progress on stderr")
 	timing := fs.Bool("timing", false, "record per-cell wall-clock time (breaks byte-level artifact reproducibility)")
+	traceJSON := fs.String("trace-json", "", "write the sweep's span tree as JSON to this file; never affects the artifact")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,9 +139,28 @@ func run(ctx context.Context, args []string, out, progress io.Writer) error {
 		}
 	}
 
+	var root *obs.Span
+	if *traceJSON != "" {
+		root = obs.NewTrace("memsweep")
+		ctx = obs.WithSpan(ctx, root)
+	}
 	art, err := sweep.Run(ctx, spec, opts)
 	if err != nil {
 		return err
+	}
+	if root != nil {
+		root.End()
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			return fmt.Errorf("create trace: %w", err)
+		}
+		if err := root.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close trace: %w", err)
+		}
 	}
 
 	if *outPath != "" {

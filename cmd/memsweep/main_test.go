@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -206,5 +207,48 @@ func TestRunRejectsBadFormatUpfront(t *testing.T) {
 		[]string{"-models", "SC", "-format", "yaml", "-quiet"}, &sb, os.Stderr)
 	if err == nil || !strings.Contains(err.Error(), "-format") {
 		t.Errorf("bad format not rejected upfront: %v", err)
+	}
+}
+
+// TestTraceJSONDoesNotPerturbArtifact runs the same spec with and
+// without -trace-json: the artifacts must be byte-identical (tracing
+// observes, never steers) and the trace file must be a valid span tree.
+func TestTraceJSONDoesNotPerturbArtifact(t *testing.T) {
+	plain := runArtifact(t, "2")
+
+	dir := t.TempDir()
+	art := filepath.Join(dir, "artifact.json")
+	trace := filepath.Join(dir, "trace.json")
+	var table strings.Builder
+	err := run(context.Background(),
+		[]string{"-spec", filepath.Join("testdata", "spec.json"), "-workers", "2",
+			"-o", art, "-trace-json", trace, "-quiet"},
+		&table, os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain, traced) {
+		t.Error("artifact differs when -trace-json is on")
+	}
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var span struct {
+		Name     string `json:"name"`
+		Children []any  `json:"children"`
+	}
+	if err := json.Unmarshal(raw, &span); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if span.Name != "memsweep" {
+		t.Errorf("trace root = %q, want memsweep", span.Name)
+	}
+	if len(span.Children) == 0 {
+		t.Error("trace has no cell spans")
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"memreliability/internal/dist"
 	"memreliability/internal/mc"
@@ -100,6 +101,7 @@ func drawThreshold(p float64) uint64 {
 // NewKernel validates the configuration and builds a kernel for it,
 // precomputing the swap-decision threshold table.
 func (c Config) NewKernel() (*Kernel, error) {
+	start := time.Now()
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -128,6 +130,8 @@ func (c Config) NewKernel() (*Kernel, error) {
 			}
 		}
 	}
+	coreKernelsBuilt.Inc()
+	coreKernelBuildSeconds.Observe(time.Since(start).Seconds())
 	return k, nil
 }
 

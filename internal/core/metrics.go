@@ -1,0 +1,18 @@
+package core
+
+import (
+	"memreliability/internal/obs"
+)
+
+// Kernel-construction metrics. NewKernel runs once per worker batch
+// call on the bitset route, so these sit just off the chunk hot path:
+// both updates are lock-free atomics with zero allocation, and the
+// histogram observation derives from the wall clock only — never from
+// experiment RNG.
+var (
+	coreKernelsBuilt = obs.Default().Counter("core_kernels_built_total",
+		"Table-driven joined-process kernels constructed.")
+	coreKernelBuildSeconds = obs.Default().Histogram("core_kernel_build_seconds",
+		"Wall-clock time to validate a config and build its kernel.",
+		obs.LogBuckets(1e-7, 4, 12))
+)

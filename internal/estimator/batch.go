@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+
+	"memreliability/internal/obs"
 )
 
 // SplitWorkerBudget partitions a total CPU budget across the pool
@@ -94,6 +97,12 @@ func EstimateBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]R
 	jobs := make(chan int)
 	var progressMu sync.Mutex
 
+	// Per-query child spans are created in the sequential feed loop below
+	// — never inside the workers — so span order is index order and the
+	// exported trace tree is deterministic at any worker count.
+	parent := obs.SpanFrom(ctx)
+	spans := make([]*obs.Span, len(norm))
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -101,8 +110,9 @@ func EstimateBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]R
 			defer wg.Done()
 			for idx := range jobs {
 				q := norm[idx]
-				res, err := Run(runCtx, q, DeriveSeeds(q.Seed, 1)[0],
+				res, err := Run(obs.WithSpan(runCtx, spans[idx]), q, DeriveSeeds(q.Seed, 1)[0],
 					Exec{Workers: inner[w], Timing: opts.Timing})
+				spans[idx].End()
 				if err != nil {
 					errs[w] = fmt.Errorf("estimator: batch query %d: %w", idx, err)
 					cancel()
@@ -120,6 +130,9 @@ func EstimateBatch(ctx context.Context, queries []Query, opts BatchOptions) ([]R
 
 feed:
 	for idx := range norm {
+		spans[idx] = parent.Child("estimate",
+			obs.L("index", strconv.Itoa(idx)),
+			obs.L("kind", string(norm[idx].Kind)))
 		select {
 		case jobs <- idx:
 		case <-runCtx.Done():

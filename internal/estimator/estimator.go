@@ -207,8 +207,19 @@ func (q Query) Normalized() Query {
 }
 
 // Validate checks the query against the canonical rules shared by every
-// surface. Call Normalized first; Estimate does both.
+// surface. Call Normalized first; Estimate does both. Every rejection
+// increments the estimator_validation_failures_total metric — this is
+// the single counting point, so surfaces that pre-validate (batch,
+// sweep, serve) and the dispatch path never double-count.
 func (q Query) Validate() error {
+	err := q.validate()
+	if err != nil {
+		validationFailures.Inc()
+	}
+	return err
+}
+
+func (q Query) validate() error {
 	if !q.Kind.Valid() {
 		return fmt.Errorf("%w: unknown estimator %q", ErrBadQuery, q.Kind)
 	}

@@ -1,0 +1,54 @@
+package estimator
+
+import (
+	"sync"
+
+	"memreliability/internal/obs"
+)
+
+// validationFailures counts queries rejected by Validate — the single
+// canonical rejection point every surface funnels through.
+var validationFailures = obs.Default().Counter("estimator_validation_failures_total",
+	"Queries rejected by canonical validation.")
+
+// kindMetrics is the per-kind instrumentation bundle of the dispatch
+// path: one counter and two histograms per estimator kind.
+type kindMetrics struct {
+	queries *obs.Counter
+	latency *obs.Histogram
+	trials  *obs.Histogram
+}
+
+var (
+	kindMetricsMu sync.RWMutex
+	kindMetricsBy = make(map[Kind]*kindMetrics)
+)
+
+// metricsFor resolves the per-kind bundle, registering its series on
+// first use (the registry is open — Register can add kinds at runtime,
+// so labels cannot be enumerated at init). Resolution is once per kind,
+// then a read-locked map hit per query — far off the chunk hot path.
+func metricsFor(k Kind) *kindMetrics {
+	kindMetricsMu.RLock()
+	m := kindMetricsBy[k]
+	kindMetricsMu.RUnlock()
+	if m != nil {
+		return m
+	}
+	kindMetricsMu.Lock()
+	defer kindMetricsMu.Unlock()
+	if m = kindMetricsBy[k]; m != nil {
+		return m
+	}
+	label := obs.L("kind", string(k))
+	m = &kindMetrics{
+		queries: obs.Default().Counter("estimator_queries_total",
+			"Queries dispatched through the estimator registry.", label),
+		latency: obs.Default().Histogram("estimator_query_seconds",
+			"Wall-clock dispatch latency per query.", obs.LatencyBuckets(), label),
+		trials: obs.Default().Histogram("estimator_trials_used",
+			"Monte Carlo trials consumed per query.", obs.TrialBuckets(), label),
+	}
+	kindMetricsBy[k] = m
+	return m
+}

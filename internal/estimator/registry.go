@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"memreliability/internal/obs"
 	"memreliability/internal/rng"
 )
 
@@ -101,12 +102,20 @@ func Run(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
 	if !ok {
 		return Result{Kind: q.Kind}, fmt.Errorf("%w: unknown estimator %q", ErrBadQuery, q.Kind)
 	}
+	km := metricsFor(q.Kind)
+	km.queries.Inc()
+	span := obs.SpanFrom(ctx).Child("estimator.dispatch", obs.L("kind", string(q.Kind)))
 	start := time.Now()
-	res, err := e.Estimate(ctx, q, seed, ex)
+	res, err := e.Estimate(obs.WithSpan(ctx, span), q, seed, ex)
+	span.End()
+	km.latency.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return res, err
 	}
 	res.Kind = q.Kind
+	if res.TrialsUsed > 0 {
+		km.trials.Observe(float64(res.TrialsUsed))
+	}
 	if ex.Timing {
 		res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	}
@@ -119,7 +128,10 @@ func Run(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
 // budget.
 func EstimateExec(ctx context.Context, q Query, ex Exec) (Result, error) {
 	norm := q.Normalized()
-	if err := norm.Validate(); err != nil {
+	v := obs.SpanFrom(ctx).Child("estimator.validate")
+	err := norm.Validate()
+	v.End()
+	if err != nil {
 		return Result{Kind: norm.Kind}, err
 	}
 	return Run(ctx, norm, DeriveSeeds(norm.Seed, 1)[0], ex)

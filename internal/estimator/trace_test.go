@@ -1,0 +1,98 @@
+package estimator_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"memreliability/internal/estimator"
+	"memreliability/internal/obs"
+)
+
+// traceQuery is a small adaptive full-MC query: adaptive rounds are the
+// span-richest path (per-round children under the dispatch span).
+func traceQuery() estimator.Query {
+	q := estimator.DefaultQuery()
+	q.Model = "TSO"
+	q.Kind = estimator.FullMC
+	q.Trials = 40000
+	q.Seed = 7
+	q.Precision = &estimator.Precision{TargetHalfWidth: 1e-3}
+	return q
+}
+
+func runTraced(t *testing.T, workers int) string {
+	t.Helper()
+	root := obs.NewTrace("estimate")
+	ctx := obs.WithSpan(context.Background(), root)
+	if _, err := estimator.EstimateExec(ctx, traceQuery(), estimator.Exec{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	return root.Structure()
+}
+
+// TestSpanTreeDeterministic is the tentpole's span-determinism
+// guarantee: the same (query, seed) yields the identical span structure
+// — names, nesting, attributes — run to run and at any worker count,
+// because spans are created only at sequential barriers.
+func TestSpanTreeDeterministic(t *testing.T) {
+	first := runTraced(t, 1)
+	if !strings.Contains(first, "estimator.dispatch[kind=mc]") {
+		t.Fatalf("trace missing dispatch span:\n%s", first)
+	}
+	if !strings.Contains(first, "mc.round[") {
+		t.Fatalf("trace missing adaptive round spans:\n%s", first)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		if got := runTraced(t, workers); got != first {
+			t.Errorf("span structure differs at workers=%d:\n%s\nwant:\n%s", workers, got, first)
+		}
+	}
+}
+
+// TestUntracedContextUnchanged pins the zero-cost disabled path: with no
+// span attached, estimation runs and the context carries no span.
+func TestUntracedContextUnchanged(t *testing.T) {
+	ctx := context.Background()
+	q := estimator.DefaultQuery()
+	q.Model = "TSO"
+	q.Trials = 2000
+	if _, err := estimator.Estimate(ctx, q); err != nil {
+		t.Fatal(err)
+	}
+	if obs.SpanFrom(ctx) != nil {
+		t.Fatal("untraced context acquired a span")
+	}
+}
+
+// TestBatchSpanOrderDeterministic asserts the batch feed loop creates
+// per-query spans in index order regardless of worker count.
+func TestBatchSpanOrderDeterministic(t *testing.T) {
+	queries := make([]estimator.Query, 4)
+	for i := range queries {
+		q := estimator.DefaultQuery()
+		q.Model = "TSO"
+		q.Trials = 2000
+		q.Seed = uint64(i + 1)
+		queries[i] = q
+	}
+	run := func(workers int) string {
+		root := obs.NewTrace("batch")
+		ctx := obs.WithSpan(context.Background(), root)
+		if _, err := estimator.EstimateBatch(ctx, queries, estimator.BatchOptions{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		root.End()
+		return root.Structure()
+	}
+	first := run(1)
+	if !strings.Contains(first, "estimate[index=0 kind=hybrid]") {
+		t.Fatalf("missing indexed estimate span:\n%s", first)
+	}
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != first {
+			t.Errorf("batch span structure differs at workers=%d:\n%s\nwant:\n%s", workers, got, first)
+		}
+	}
+}

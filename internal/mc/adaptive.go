@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
+	"memreliability/internal/obs"
 	"memreliability/internal/stats"
 )
 
@@ -159,9 +161,18 @@ func estimateAdaptive(ctx context.Context, cfg AdaptiveConfig, newScratch func()
 	successes := make([]int, len(sources))
 	trialsRun := make([]int, len(sources))
 
+	mcRuns.Inc()
+	mcRunWorkers.Observe(float64(effectiveWorkers(cfg.Workers, len(sources))))
+	parent := obs.SpanFrom(ctx)
+
 	result := &AdaptiveResult{}
 	for start := 0; start < len(sources); {
 		end := nextRound(start, len(sources))
+		// One span per round: rounds are sequential barriers, so span
+		// creation order — and the exported tree — is deterministic.
+		round := parent.Child("mc.round",
+			obs.L("round", strconv.Itoa(result.Rounds)),
+			obs.L("chunks", strconv.Itoa(end-start)))
 		runErr := runChunksWith(ctx, cfg.Workers, end-start, newScratch,
 			func(ctx context.Context, j int, s probScratch) error {
 				chunk := start + j
@@ -174,14 +185,18 @@ func estimateAdaptive(ctx context.Context, cfg AdaptiveConfig, newScratch func()
 				}
 				successes[chunk] = n
 				trialsRun[chunk] = quotas[chunk]
+				mcChunks.Inc()
+				mcTrials.Add(int64(quotas[chunk]))
 				return nil
 			})
+		round.End()
 		for chunk := start; chunk < end; chunk++ {
 			if err := result.Proportion.AddCounts(successes[chunk], trialsRun[chunk]); err != nil {
 				return nil, err
 			}
 		}
 		result.Rounds++
+		mcAdaptiveRounds.Inc()
 		if runErr != nil {
 			return result, runErr
 		}
@@ -193,10 +208,12 @@ func estimateAdaptive(ctx context.Context, cfg AdaptiveConfig, newScratch func()
 		}
 		if cfg.converged((hi-lo)/2, result.Proportion.Estimate()) {
 			result.StopReason = StopConverged
+			observeStop(StopConverged)
 			return result, nil
 		}
 	}
 	result.StopReason = StopBudget
+	observeStop(StopBudget)
 	return result, nil
 }
 
@@ -241,9 +258,16 @@ func EstimateMeanAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch Ba
 	sources, quotas := chunkPlan(Config{Trials: cfg.MaxTrials, Seed: cfg.Seed})
 	sums := make([]stats.Summary, len(sources))
 
+	mcRuns.Inc()
+	mcRunWorkers.Observe(float64(effectiveWorkers(cfg.Workers, len(sources))))
+	parent := obs.SpanFrom(ctx)
+
 	result := &AdaptiveMeanResult{}
 	for start := 0; start < len(sources); {
 		end := nextRound(start, len(sources))
+		round := parent.Child("mc.round",
+			obs.L("round", strconv.Itoa(result.Rounds)),
+			obs.L("chunks", strconv.Itoa(end-start)))
 		runErr := runChunksWith(ctx, cfg.Workers, end-start, floatScratch,
 			func(ctx context.Context, j int, out []float64) error {
 				chunk := start + j
@@ -253,8 +277,11 @@ func EstimateMeanAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch Ba
 					}
 					return fmt.Errorf("mc: sampler failed in chunk %d: %w", chunk, err)
 				}
+				mcChunks.Inc()
+				mcTrials.Add(int64(quotas[chunk]))
 				return nil
 			})
+		round.End()
 		// Extending a left-to-right fold keeps the merge in chunk order,
 		// so partial (error-path) and complete results alike are
 		// bit-identical at any worker count.
@@ -262,6 +289,7 @@ func EstimateMeanAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch Ba
 			result.Summary = stats.MergeSummaries(result.Summary, sums[chunk])
 		}
 		result.Rounds++
+		mcAdaptiveRounds.Inc()
 		if runErr != nil {
 			return result, runErr
 		}
@@ -273,9 +301,11 @@ func EstimateMeanAdaptiveBatch(ctx context.Context, cfg AdaptiveConfig, batch Ba
 		}
 		if cfg.converged((hi-lo)/2, result.Summary.Mean()) {
 			result.StopReason = StopConverged
+			observeStop(StopConverged)
 			return result, nil
 		}
 	}
 	result.StopReason = StopBudget
+	observeStop(StopBudget)
 	return result, nil
 }

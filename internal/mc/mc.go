@@ -36,8 +36,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
+	"memreliability/internal/obs"
 	"memreliability/internal/rng"
 	"memreliability/internal/stats"
 )
@@ -281,6 +284,16 @@ func estimateProbability(ctx context.Context, cfg Config, newScratch func() prob
 	successes := make([]int, len(sources))
 	trialsRun := make([]int, len(sources))
 
+	mcRuns.Inc()
+	mcRunWorkers.Observe(float64(effectiveWorkers(cfg.Workers, len(sources))))
+	start := time.Now()
+	// Spans mark the run's sequential barriers only — one for the whole
+	// chunk sweep, one for the in-order merge — never per chunk, so the
+	// chunk loop itself stays allocation-free.
+	span := obs.SpanFrom(ctx).Child("mc.chunks",
+		obs.L("chunks", strconv.Itoa(len(sources))),
+		obs.L("trials", strconv.Itoa(cfg.Trials)))
+
 	runErr := runChunksWith(ctx, cfg.Workers, len(sources), newScratch,
 		func(ctx context.Context, chunk int, s probScratch) error {
 			n, err := runProbChunk(ctx, s.bits, sources[chunk], s.words, quotas[chunk])
@@ -292,15 +305,24 @@ func estimateProbability(ctx context.Context, cfg Config, newScratch func() prob
 			}
 			successes[chunk] = n
 			trialsRun[chunk] = quotas[chunk]
+			mcChunks.Inc()
+			mcTrials.Add(int64(quotas[chunk]))
 			return nil
 		})
+	span.End()
+	if elapsed := time.Since(start).Seconds(); runErr == nil && elapsed > 0 {
+		mcTrialsPerSec.Set(float64(cfg.Trials) / elapsed)
+	}
 
+	merge := obs.SpanFrom(ctx).Child("mc.merge")
 	result := &Result{}
 	for chunk := range sources {
 		if err := result.Proportion.AddCounts(successes[chunk], trialsRun[chunk]); err != nil {
+			merge.End()
 			return nil, err
 		}
 	}
+	merge.End()
 	if runErr != nil {
 		return result, runErr
 	}
@@ -424,6 +446,8 @@ func EstimateMeanBatch(ctx context.Context, cfg Config, batch BatchMean) (*stats
 	sources, quotas := chunkPlan(cfg)
 	sums := make([]stats.Summary, len(sources))
 
+	mcRuns.Inc()
+	mcRunWorkers.Observe(float64(effectiveWorkers(cfg.Workers, len(sources))))
 	err := runChunksWith(ctx, cfg.Workers, len(sources), floatScratch,
 		func(ctx context.Context, chunk int, out []float64) error {
 			if err := runMeanChunk(ctx, batch, sources[chunk], out[:quotas[chunk]], &sums[chunk]); err != nil {
@@ -432,6 +456,8 @@ func EstimateMeanBatch(ctx context.Context, cfg Config, batch BatchMean) (*stats
 				}
 				return fmt.Errorf("mc: sampler failed in chunk %d: %w", chunk, err)
 			}
+			mcChunks.Inc()
+			mcTrials.Add(int64(quotas[chunk]))
 			return nil
 		})
 	if err != nil {

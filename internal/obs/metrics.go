@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// MetricKind is the exposition type of a metric family.
+type MetricKind string
+
+const (
+	KindCounter   MetricKind = "counter"
+	KindGauge     MetricKind = "gauge"
+	KindHistogram MetricKind = "histogram"
+)
+
+// Label is one constant key/value pair attached to a metric series at
+// registration time. Labels are fixed at registration — there is no
+// per-observation label allocation, which is what keeps the hot-path
+// update calls allocation-free.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative deltas are ignored —
+// counters are monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically updated float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta to the gauge (CAS loop; no allocation).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram: observation counts per upper
+// bound plus a +Inf overflow bucket, a total count, and a sum. Bounds
+// are fixed at registration (see LogBuckets); Observe is a linear scan
+// over at most a few dozen bounds plus three atomic updates — no
+// allocation, no lock.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds (exclusive of +Inf)
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    Gauge
+}
+
+// Observe records one observation: v lands in the first bucket whose
+// upper bound is ≥ v (Prometheus `le` semantics), or the +Inf bucket.
+func (h *Histogram) Observe(v float64) {
+	placed := false
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the histogram's upper bounds (without +Inf). The
+// returned slice is shared; callers must not modify it.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCount returns the non-cumulative count of bucket i, where
+// i == len(Bounds()) addresses the +Inf bucket.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if i == len(h.bounds) {
+		return h.inf.Load()
+	}
+	return h.counts[i].Load()
+}
+
+// LogBuckets returns n exponentially spaced upper bounds starting at
+// min and multiplying by factor: min, min·factor, …, min·factor^(n-1).
+// It is the canonical bucket layout of the subsystem: every latency and
+// size histogram uses log buckets so one layout spans the microsecond-
+// to-minute (or unit-to-mega) range at fixed relative resolution.
+func LogBuckets(min, factor float64, n int) []float64 {
+	if !(min > 0) || !(factor > 1) || n < 1 {
+		panic(fmt.Sprintf("obs: bad log buckets (min=%v factor=%v n=%d)", min, factor, n))
+	}
+	out := make([]float64, n)
+	v := min
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is the shared layout for duration histograms, in
+// seconds: 100µs to ~105s at 2x resolution.
+func LatencyBuckets() []float64 { return LogBuckets(100e-6, 2, 21) }
+
+// TrialBuckets is the shared layout for Monte Carlo trial-count
+// histograms: 1024 trials (an mc cancellation sub-batch) to ~33M at 2x
+// resolution.
+func TrialBuckets() []float64 { return LogBuckets(1024, 2, 16) }
+
+// metric is one registered series.
+type metric struct {
+	name   string
+	help   string
+	kind   MetricKind
+	labels []Label // sorted by key
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry is a set of named metric series. Registration (Counter,
+// Gauge, Histogram) is idempotent on (name, labels): re-registering
+// returns the existing handle, so package-level handles and per-server
+// handles resolve exactly once and hot paths hold direct pointers. A
+// name registered with conflicting kind, help, or histogram bounds
+// panics — one name must mean one thing.
+type Registry struct {
+	mu      sync.RWMutex
+	series  map[string]*metric // key: name + label signature
+	ordered []*metric
+	kinds   map[string]MetricKind // family name → kind
+	helps   map[string]string     // family name → help
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		series: make(map[string]*metric),
+		kinds:  make(map[string]MetricKind),
+		helps:  make(map[string]string),
+	}
+}
+
+// seriesKey builds the unique key of (name, labels) with labels sorted
+// by key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte(0)
+		b.WriteString(l.Key)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// register resolves or creates one series under the registry lock.
+func (r *Registry) register(name, help string, kind MetricKind, labels []Label, make func() *metric) *metric {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	key := seriesKey(name, sorted)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if k, ok := r.kinds[name]; ok && k != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, k))
+	}
+	if h, ok := r.helps[name]; ok && h != help {
+		panic(fmt.Sprintf("obs: metric %q re-registered with different help", name))
+	}
+	if m, ok := r.series[key]; ok {
+		return m
+	}
+	m := make()
+	m.name, m.help, m.kind, m.labels = name, help, kind, sorted
+	r.kinds[name] = kind
+	r.helps[name] = help
+	r.series[key] = m
+	r.ordered = append(r.ordered, m)
+	return m
+}
+
+// Counter registers (or resolves) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, KindCounter, labels,
+		func() *metric { return &metric{counter: &Counter{}} }).counter
+}
+
+// Gauge registers (or resolves) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, KindGauge, labels,
+		func() *metric { return &metric{gauge: &Gauge{}} }).gauge
+}
+
+// Histogram registers (or resolves) a histogram series over the given
+// ascending upper bounds (see LogBuckets). Re-registration with
+// different bounds panics.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
+		}
+	}
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bound", name))
+	}
+	m := r.register(name, help, KindHistogram, labels, func() *metric {
+		h := &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Uint64, len(bounds))
+		return &metric{hist: h}
+	})
+	h := m.hist
+	if len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	for i, b := range bounds {
+		if h.bounds[i] != b {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+		}
+	}
+	return h
+}
+
+// labelString renders {k="v",…} including an extra le pair when
+// requested (leVal == "" means no le label).
+func labelString(labels []Label, leVal string) string {
+	if len(labels) == 0 && leVal == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	if leVal != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", leVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float in the Prometheus text format.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// formatBound renders a histogram upper bound as its le label value.
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one HELP
+// and TYPE line each, series sorted by label signature, histograms with
+// cumulative buckets, a +Inf bucket, and _sum/_count series. The output
+// is deterministic for a given registry state, so it can be golden-
+// filed.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	series := append([]*metric(nil), r.ordered...)
+	r.mu.RUnlock()
+
+	sort.Slice(series, func(i, j int) bool {
+		if series[i].name != series[j].name {
+			return series[i].name < series[j].name
+		}
+		return seriesKey("", series[i].labels) < seriesKey("", series[j].labels)
+	})
+
+	lastFamily := ""
+	for _, m := range series {
+		if m.name != lastFamily {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+				return err
+			}
+			lastFamily = m.name
+		}
+		switch m.kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelString(m.labels, ""), m.counter.Value()); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, labelString(m.labels, ""), formatValue(m.gauge.Value())); err != nil {
+				return err
+			}
+		case KindHistogram:
+			h := m.hist
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelString(m.labels, formatBound(b)), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.inf.Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelString(m.labels, "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, labelString(m.labels, ""), formatValue(h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labelString(m.labels, ""), h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

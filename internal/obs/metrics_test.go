@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	var g Gauge
+	g.Set(2.5)
+	g.Add(0.5)
+	if got := g.Value(); got != 3.0 {
+		t.Fatalf("gauge = %v, want 3.0", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le semantics: an observation
+// equal to an upper bound lands in that bucket, just above it lands in
+// the next, and beyond the last bound lands in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "test", []float64{1, 2, 4})
+
+	cases := []struct {
+		v    float64
+		want int // bucket index; 3 = +Inf
+	}{
+		{0.5, 0}, {1, 0}, {1.0000001, 1}, {2, 1}, {3, 2}, {4, 2}, {4.5, 3}, {100, 3},
+	}
+	counts := make([]uint64, 4)
+	sum := 0.0
+	for _, c := range cases {
+		h.Observe(c.v)
+		counts[c.want]++
+		sum += c.v
+	}
+	for i, want := range counts {
+		if got := h.BucketCount(i); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Errorf("count = %d, want %d", got, len(cases))
+	}
+	if math.Abs(h.Sum()-sum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum(), sum)
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	got := LogBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for i := 1; i < len(LatencyBuckets()); i++ {
+		if !(LatencyBuckets()[i] > LatencyBuckets()[i-1]) {
+			t.Fatal("LatencyBuckets not strictly ascending")
+		}
+	}
+}
+
+// TestConcurrentCounters hammers one counter, one gauge, and one
+// histogram from many goroutines; run under -race (make test does) this
+// also proves the update paths are data-race free.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "test")
+	g := r.Gauge("g", "test")
+	h := r.Histogram("hist", "test", []float64{1, 10, 100})
+
+	const workers = 8
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 150))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := g.Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestRegistrationIdempotent pins the handle-resolution contract:
+// re-registering the same (name, labels) returns the same handle, and
+// series with different labels are distinct.
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("reqs", "requests", L("route", "/a"))
+	b := r.Counter("reqs", "requests", L("route", "/a"))
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct handles")
+	}
+	c := r.Counter("reqs", "requests", L("route", "/b"))
+	if a == c {
+		t.Fatal("different labels returned the same handle")
+	}
+	// Label order must not matter.
+	d := r.Counter("multi", "m", L("x", "1"), L("y", "2"))
+	e := r.Counter("multi", "m", L("y", "2"), L("x", "1"))
+	if d != e {
+		t.Fatal("label order produced distinct handles")
+	}
+}
+
+func TestRegistrationConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"kind conflict", func() { r.Gauge("m", "help") }},
+		{"help conflict", func() { r.Counter("m", "other help") }},
+		{"bounds conflict", func() {
+			r.Histogram("hh", "h", []float64{1, 2})
+			r.Histogram("hh", "h", []float64{1, 3})
+		}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.fn()
+		}()
+	}
+}
+
+// TestPrometheusGolden locks the exposition format against a golden
+// file: family sorting, HELP/TYPE lines, label rendering, cumulative
+// histogram buckets with +Inf, and _sum/_count.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	// Register out of name order to prove output sorting.
+	r.Gauge("zeta_depth", "Current depth.").Set(3)
+	c := r.Counter("alpha_total", "Total alphas.", L("kind", "mc"))
+	c.Add(7)
+	r.Counter("alpha_total", "Total alphas.", L("kind", "exact")).Add(2)
+	h := r.Histogram("beta_seconds", "Beta latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	goldenPath := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition differs from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusDeterministic asserts two writes of the same registry
+// are byte-identical.
+func TestPrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Add(1)
+	r.Histogram("b_seconds", "b", LatencyBuckets()).Observe(0.01)
+	var w1, w2 bytes.Buffer
+	if err := r.WritePrometheus(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Error("two expositions of the same registry differ")
+	}
+}

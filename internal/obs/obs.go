@@ -1,0 +1,34 @@
+// Package obs is the zero-dependency observability layer of the
+// estimation stack: a typed metrics registry (atomic counters, gauges,
+// fixed log-bucket histograms) with Prometheus text exposition, and a
+// lightweight span-tracing API for the estimate lifecycle.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. Instrumentation must never perturb results: it
+//     consumes no experiment RNG, never reorders chunks, and never
+//     writes into result encodings. Metrics observe; they do not steer.
+//  2. Zero steady-state allocation. Metric handles are resolved once
+//     (registration is idempotent, so package-level handles are cheap);
+//     Counter.Add, Gauge.Set, and Histogram.Observe are lock-free
+//     atomic updates with no allocation — safe to call on the Monte
+//     Carlo chunk path (asserted by the perf suite's zero-alloc
+//     scenarios). Spans are created only at chunk-round barriers, never
+//     per trial.
+//  3. Deterministic exposition and span structure. WritePrometheus
+//     output is sorted (families by name, series by label signature) so
+//     it can be golden-filed, and span trees are built at sequential
+//     barriers so the same (query, seed) always yields the identical
+//     structure.
+//
+// The process-global Default registry collects the engine-level metrics
+// (estimator, mc, core, sweep); the HTTP service keeps its own registry
+// for per-endpoint metrics and exposes both at GET /metrics/prom.
+package obs
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry. Engine packages
+// (estimator, mc, core, sweep) register their metrics here; servers
+// that want isolation create their own with NewRegistry and expose both.
+func Default() *Registry { return defaultRegistry }

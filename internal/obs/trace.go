@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one node in a query-scoped trace tree. Spans record the
+// estimate lifecycle (validate → registry dispatch → chunk rounds →
+// merge) and are created only at sequential barriers — feed loops,
+// adaptive round boundaries — never per trial or per chunk, so the
+// bit-parallel hot path stays allocation-free.
+//
+// All methods are nil-safe: a nil *Span is the "tracing disabled" state
+// and every operation on it is a no-op, so instrumented code never
+// branches on whether a trace is active.
+type Span struct {
+	name  string
+	attrs []Label
+	start time.Time
+
+	mu       sync.Mutex
+	elapsed  time.Duration
+	ended    bool
+	children []*Span
+}
+
+// NewTrace starts a root span. The caller owns the returned span and
+// must End it; pass it down via WithSpan.
+func NewTrace(name string, attrs ...Label) *Span {
+	return newSpan(name, attrs)
+}
+
+func newSpan(name string, attrs []Label) *Span {
+	s := &Span{name: name, start: time.Now()}
+	if len(attrs) > 0 {
+		s.attrs = append([]Label(nil), attrs...)
+	}
+	return s
+}
+
+// Child starts a sub-span. Children appear in creation order, which —
+// because spans are only created at sequential barriers — is
+// deterministic for a given (query, seed).
+func (s *Span) Child(name string, attrs ...Label) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name, attrs)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End freezes the span's duration. Ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.elapsed = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr appends an attribute after creation (e.g. a result computed
+// mid-span, like the adaptive stop reason).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+type spanKey struct{}
+
+// WithSpan attaches s to the context. A nil span returns ctx unchanged,
+// so disabled tracing costs nothing downstream.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the span attached to ctx, or nil when tracing is
+// disabled.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// SpanJSON is the exported form of a span tree. The structure — names,
+// nesting, and attributes — is deterministic for a given (query, seed);
+// only DurationMS varies run to run.
+type SpanJSON struct {
+	Name       string            `json:"name"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []SpanJSON        `json:"children,omitempty"`
+}
+
+// Export snapshots the span tree. Un-ended spans export their elapsed
+// time so far. Attributes with duplicate keys keep the last value.
+func (s *Span) Export() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	s.mu.Lock()
+	d := s.elapsed
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	attrs := append([]Label(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+
+	out := SpanJSON{Name: s.name, DurationMS: float64(d) / float64(time.Millisecond)}
+	if len(attrs) > 0 {
+		out.Attrs = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range children {
+		out.Children = append(out.Children, c.Export())
+	}
+	return out
+}
+
+// WriteJSON writes the exported span tree as indented JSON (map keys
+// are emitted sorted by encoding/json, so output is deterministic up to
+// durations).
+func (s *Span) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Export())
+}
+
+// Structure renders the tree shape without durations — name, sorted
+// attribute keys, and children, one node per line — for determinism
+// assertions in tests: same (query, seed) must produce identical
+// Structure output.
+func (s *Span) Structure() string {
+	var b []byte
+	b = appendStructure(b, s.Export(), 0)
+	return string(b)
+}
+
+func appendStructure(b []byte, sj SpanJSON, depth int) []byte {
+	for i := 0; i < depth; i++ {
+		b = append(b, ' ', ' ')
+	}
+	b = append(b, sj.Name...)
+	if len(sj.Attrs) > 0 {
+		keys := make([]string, 0, len(sj.Attrs))
+		for k := range sj.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b = append(b, '[')
+		for i, k := range keys {
+			if i > 0 {
+				b = append(b, ' ')
+			}
+			b = append(b, k...)
+			b = append(b, '=')
+			b = append(b, sj.Attrs[k]...)
+		}
+		b = append(b, ']')
+	}
+	b = append(b, '\n')
+	for _, c := range sj.Children {
+		b = appendStructure(b, c, depth+1)
+	}
+	return b
+}

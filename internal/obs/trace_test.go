@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestNilSpanSafe proves the "tracing disabled" contract: every method
+// on a nil *Span is a no-op and WithSpan(nil) leaves ctx untouched.
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("child")
+	if c != nil {
+		t.Fatal("nil span produced a non-nil child")
+	}
+	s.End()
+	s.SetAttr("k", "v")
+	if got := s.Name(); got != "" {
+		t.Fatalf("nil span name = %q", got)
+	}
+	ctx := context.Background()
+	if WithSpan(ctx, nil) != ctx {
+		t.Fatal("WithSpan(ctx, nil) returned a new context")
+	}
+	if SpanFrom(ctx) != nil {
+		t.Fatal("SpanFrom(background) != nil")
+	}
+}
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	root := NewTrace("root")
+	ctx := WithSpan(context.Background(), root)
+	if SpanFrom(ctx) != root {
+		t.Fatal("SpanFrom did not return the attached span")
+	}
+}
+
+func TestSpanTreeStructure(t *testing.T) {
+	root := NewTrace("estimate", L("kind", "mc"))
+	v := root.Child("validate")
+	v.End()
+	d := root.Child("dispatch")
+	r0 := d.Child("round", L("round", "0"))
+	r0.End()
+	r1 := d.Child("round", L("round", "1"))
+	r1.SetAttr("stop", "converged")
+	r1.End()
+	d.End()
+	root.End()
+
+	want := strings.Join([]string{
+		"estimate[kind=mc]",
+		"  validate",
+		"  dispatch",
+		"    round[round=0]",
+		"    round[round=1 stop=converged]",
+		"",
+	}, "\n")
+	if got := root.Structure(); got != want {
+		t.Errorf("structure:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSpanStructureDeterministic builds the same tree twice and asserts
+// identical Structure output — the foundation of the span-tree
+// determinism guarantee (the cross-package same-query-same-seed test
+// lives in the estimator package, next to the instrumentation).
+func TestSpanStructureDeterministic(t *testing.T) {
+	build := func() string {
+		root := NewTrace("estimate", L("seed", "42"))
+		for i := 0; i < 3; i++ {
+			c := root.Child("cell", L("idx", string(rune('0'+i))))
+			c.End()
+		}
+		root.End()
+		return root.Structure()
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("structures differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestSpanWriteJSON(t *testing.T) {
+	root := NewTrace("root", L("a", "1"))
+	root.Child("leaf").End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := root.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got SpanJSON
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.Name != "root" || got.Attrs["a"] != "1" {
+		t.Errorf("root decoded wrong: %+v", got)
+	}
+	if len(got.Children) != 1 || got.Children[0].Name != "leaf" {
+		t.Errorf("children decoded wrong: %+v", got.Children)
+	}
+	if got.DurationMS < 0 {
+		t.Errorf("negative duration: %v", got.DurationMS)
+	}
+}

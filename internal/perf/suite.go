@@ -8,6 +8,7 @@ import (
 	"memreliability/internal/estimator"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
+	"memreliability/internal/obs"
 	"memreliability/internal/rng"
 	"memreliability/internal/stats"
 )
@@ -238,6 +239,52 @@ func Suite() []Scenario {
 					}
 					sink += mc.OnesCount(words)
 				}
+			},
+		},
+		{
+			ID:          "mc-instrumented/chunk-8k",
+			Description: "steady-state bitset chunk plus the chunk-path metric updates (counter inc + trials add), proving instrumentation stays allocation-free",
+			Trials:      chunkTrials,
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				reg := obs.NewRegistry()
+				chunks := reg.Counter("bench_chunks_total", "bench")
+				trials := reg.Counter("bench_trials_total", "bench")
+				src := rng.New(1)
+				words := make([]uint64, mc.BitWords(chunkTrials))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := coinBits(src, words, chunkTrials); err != nil {
+						b.Fatal(err)
+					}
+					sink += mc.OnesCount(words)
+					// The exact per-chunk observability cost the mc harness
+					// pays: one counter increment and one counter add.
+					chunks.Inc()
+					trials.Add(chunkTrials)
+				}
+			},
+		},
+		{
+			ID:          "obs-metrics/observe-8k",
+			Description: "8192 metric updates (counter inc, gauge set, histogram observe) on pre-resolved handles",
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				reg := obs.NewRegistry()
+				c := reg.Counter("bench_events_total", "bench")
+				g := reg.Gauge("bench_depth", "bench")
+				h := reg.Histogram("bench_seconds", "bench", obs.LatencyBuckets())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := 0; j < chunkTrials; j++ {
+						c.Inc()
+						g.Set(float64(j))
+						h.Observe(float64(j) * 1e-6)
+					}
+				}
+				sink += int(c.Value())
 			},
 		},
 		{

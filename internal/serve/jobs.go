@@ -12,6 +12,7 @@ import (
 	"sort"
 	"sync"
 
+	"memreliability/internal/obs"
 	"memreliability/internal/sweep"
 )
 
@@ -84,19 +85,22 @@ type jobStore struct {
 	order []string // insertion order, oldest first, for eviction
 
 	queue chan *jobRecord
+	depth *obs.Gauge // queued-not-yet-running jobs
 	wg    sync.WaitGroup
 }
 
 // newJobStore starts workers goroutines consuming the job queue. ctx
 // bounds every job's compute; cancel it (and then drainAndWait) to shut
-// the store down.
-func newJobStore(ctx context.Context, workers, cellWorkers, queueDepth, maxJobs int) *jobStore {
+// the store down. depth is the queue-depth gauge, updated at every
+// enqueue and pickup.
+func newJobStore(ctx context.Context, workers, cellWorkers, queueDepth, maxJobs int, depth *obs.Gauge) *jobStore {
 	st := &jobStore{
 		workers:     workers,
 		cellWorkers: cellWorkers,
 		maxJobs:     maxJobs,
 		jobs:        make(map[string]*jobRecord),
 		queue:       make(chan *jobRecord, queueDepth),
+		depth:       depth,
 	}
 	for i := 0; i < workers; i++ {
 		st.wg.Add(1)
@@ -107,6 +111,7 @@ func newJobStore(ctx context.Context, workers, cellWorkers, queueDepth, maxJobs 
 				case <-ctx.Done():
 					return
 				case j := <-st.queue:
+					st.depth.Set(float64(len(st.queue)))
 					st.run(ctx, j)
 				}
 			}
@@ -174,6 +179,7 @@ func (st *jobStore) Submit(ctx context.Context, spec sweep.Spec) (JobStatus, boo
 	}
 	select {
 	case st.queue <- j:
+		st.depth.Set(float64(len(st.queue)))
 	default:
 		return JobStatus{}, false, ErrBusy
 	}

@@ -6,8 +6,15 @@ import (
 	"testing"
 	"time"
 
+	"memreliability/internal/obs"
 	"memreliability/internal/sweep"
 )
+
+// testQueueGauge returns a throwaway queue-depth gauge for direct
+// jobStore construction in tests.
+func testQueueGauge() *obs.Gauge {
+	return obs.NewRegistry().Gauge("serve_job_queue_depth", "test gauge")
+}
 
 // smallSpec is a fast two-cell sweep for job tests.
 func smallSpec(seed uint64) sweep.Spec {
@@ -65,7 +72,7 @@ func TestJobIDIgnoresWorkers(t *testing.T) {
 
 func TestJobStoreSubmitRunDedup(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 1, 0, 4, 64)
+	st := newJobStore(ctx, 1, 0, 4, 64, testQueueGauge())
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -100,7 +107,7 @@ func TestJobStoreSubmitRunDedup(t *testing.T) {
 
 func TestJobStoreValidatesSpec(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 1, 0, 4, 64)
+	st := newJobStore(ctx, 1, 0, 4, 64, testQueueGauge())
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -115,7 +122,7 @@ func TestJobStoreValidatesSpec(t *testing.T) {
 func TestJobStoreQueueBound(t *testing.T) {
 	// Zero workers: nothing drains the queue, so the bound must bite.
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 2, 64)
+	st := newJobStore(ctx, 0, 0, 2, 64, testQueueGauge())
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -136,7 +143,7 @@ func TestJobStoreQueueBound(t *testing.T) {
 
 func TestJobStoreEvictsOldestTerminal(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 1, 0, 4, 2)
+	st := newJobStore(ctx, 1, 0, 4, 2, testQueueGauge())
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -184,7 +191,7 @@ func TestJobStoreRefusesWhenAllActive(t *testing.T) {
 	// Zero workers: submitted jobs stay queued (active) forever, so at
 	// capacity there is nothing evictable.
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 4, 2)
+	st := newJobStore(ctx, 0, 0, 4, 2, testQueueGauge())
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -203,7 +210,7 @@ func TestJobStoreFullQueueDoesNotEvict(t *testing.T) {
 	// A submission that will be refused for queue capacity must not
 	// first destroy a retained artifact.
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 1, 2)
+	st := newJobStore(ctx, 0, 0, 1, 2, testQueueGauge())
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -232,7 +239,7 @@ func TestJobStoreFullQueueDoesNotEvict(t *testing.T) {
 
 func TestJobStoreShutdownCancelsQueued(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 4, 64)
+	st := newJobStore(ctx, 0, 0, 4, 64, testQueueGauge())
 	status, _, err := st.Submit(ctx, smallSpec(9))
 	if err != nil {
 		t.Fatal(err)

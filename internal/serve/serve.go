@@ -35,6 +35,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
@@ -43,6 +44,7 @@ import (
 	"memreliability/internal/estimator"
 	"memreliability/internal/litmus"
 	"memreliability/internal/memmodel"
+	"memreliability/internal/obs"
 	"memreliability/internal/sweep"
 )
 
@@ -74,6 +76,10 @@ type Config struct {
 	// rejected with 503 while every retained job is still active. Keeps
 	// a long-running daemon's memory bounded. 0 means 64.
 	MaxJobs int
+	// Logger, when non-nil, receives one structured record per request
+	// (request_id, method, route, status, duration_ms, cache state).
+	// Nil disables request logging.
+	Logger *slog.Logger
 }
 
 // withDefaults returns the config with zero fields replaced by defaults.
@@ -155,6 +161,7 @@ type Server struct {
 	flight  *flightGroup
 	jobs    *jobStore
 	metrics *serverMetrics
+	obs     *serveObs
 	sem     chan struct{} // estimate-worker slots
 
 	baseCtx context.Context
@@ -168,19 +175,22 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	so := newServeObs()
 	s := &Server{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		cache:   newLRUCache(cfg.CacheSize),
 		flight:  newFlightGroup(),
-		jobs:    newJobStore(ctx, cfg.SweepWorkers, cfg.SweepCellWorkers, cfg.QueueDepth, cfg.MaxJobs),
+		jobs:    newJobStore(ctx, cfg.SweepWorkers, cfg.SweepCellWorkers, cfg.QueueDepth, cfg.MaxJobs, so.queueDepth),
 		metrics: newServerMetrics(),
+		obs:     so,
 		sem:     make(chan struct{}, cfg.EstimateWorkers),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics/prom", s.handleMetricsProm)
 	s.mux.HandleFunc("GET /v1/litmus", s.handleLitmus)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/windowdist", s.handleWindowDist)
@@ -200,13 +210,65 @@ func (s *Server) Close() {
 	s.jobs.drainAndWait()
 }
 
-// ServeHTTP dispatches to the API routes, counting every request and its
-// latency.
+// ServeHTTP dispatches to the API routes through the observability
+// middleware: every request gets an X-Request-ID (propagated from the
+// client when well-formed, generated otherwise), a per-route latency
+// observation, an optional structured log record, and — when the client
+// sends "X-Trace: 1" — a response envelope carrying the request's span
+// tree around the byte-for-byte original body. The legacy expvar
+// counters (requests, latency_ms_total) keep their exact semantics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.requests.Add(1)
-	s.mux.ServeHTTP(w, r)
-	s.metrics.latencyMS.Add(float64(time.Since(start)) / float64(time.Millisecond))
+
+	reqID := s.obs.requestID(r.Header.Get("X-Request-ID"))
+	w.Header().Set("X-Request-ID", reqID)
+
+	rec := &statusRecorder{ResponseWriter: w}
+	var out http.ResponseWriter = rec
+	var root *obs.Span
+	var tw *traceRecorder
+	if r.Header.Get("X-Trace") == "1" {
+		root = obs.NewTrace("http.request",
+			obs.L("method", r.Method),
+			obs.L("request_id", reqID))
+		r = r.WithContext(obs.WithSpan(r.Context(), root))
+		tw = &traceRecorder{ResponseWriter: rec}
+		out = tw
+	}
+
+	s.mux.ServeHTTP(out, r)
+
+	elapsed := time.Since(start)
+	s.metrics.latencyMS.Add(float64(elapsed) / float64(time.Millisecond))
+	route := r.Pattern
+	if route == "" {
+		route = routeUnmatched
+	}
+	rm := s.obs.route(route)
+	rm.requests.Inc()
+	rm.latency.Observe(elapsed.Seconds())
+
+	if root != nil {
+		root.End()
+		writeTraced(rec, tw, root)
+	}
+	if s.cfg.Logger != nil {
+		status := rec.status
+		if tw != nil && status == 0 {
+			status = tw.status
+		}
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Float64("duration_ms", float64(elapsed)/float64(time.Millisecond)),
+			slog.String("cache", w.Header().Get("X-Cache")))
+	}
 }
 
 // writeJSON writes v as indented JSON with the given status.
@@ -263,10 +325,20 @@ func decodeStrict(r *http.Request, base any) error {
 // LRU, and on a miss run compute behind singleflight and the estimate
 // worker semaphore, caching the encoded body. Concurrent identical
 // requests share one computation; every path returns the same bytes.
-func (s *Server) cached(w http.ResponseWriter, key string, compute func(ctx context.Context) (any, error)) {
-	if body, ok := s.cache.Get(key); ok {
-		s.metrics.hits.Add(1)
-		s.writeCached(w, "hit", body)
+//
+// Cache-outcome counters (hits, misses, dedup and the per-route obs
+// series) are incremented only after the body write succeeds: a client
+// that disconnects mid-stream received nothing, and counting it would
+// overcount served traffic. The execution counters (computations,
+// inflight) stay inside the leader — they measure estimator work, which
+// happens whether or not the bytes land.
+func (s *Server) cached(w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
+	span := obs.SpanFrom(r.Context())
+	lookup := span.Child("cache.lookup")
+	body, ok := s.cache.Get(key)
+	lookup.End()
+	if ok {
+		s.countServed(w, r, "hit", body)
 		return
 	}
 	// leaderState is written only inside fn, which Do runs on this
@@ -279,11 +351,9 @@ func (s *Server) cached(w http.ResponseWriter, key string, compute func(ctx cont
 		// computation into a hit, keeping "identical concurrent requests
 		// compute once" airtight.
 		if body, ok := s.cache.Get(key); ok {
-			s.metrics.hits.Add(1)
 			leaderState = "hit"
 			return body, nil
 		}
-		s.metrics.misses.Add(1)
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
 		// Refuse before the select: with a free semaphore slot AND a
@@ -300,9 +370,13 @@ func (s *Server) cached(w http.ResponseWriter, key string, compute func(ctx cont
 		}
 		// Compute against the server's context, not the request's: the
 		// result is shared with concurrent duplicates and then cached,
-		// so one impatient client must not poison it.
+		// so one impatient client must not poison it. The leader's trace
+		// span rides along (scheduling metadata only — the computation
+		// itself is deterministic in the query).
 		s.metrics.computations.Add(1)
-		v, err := compute(s.baseCtx)
+		cspan := span.Child("compute")
+		v, err := compute(obs.WithSpan(s.baseCtx, cspan))
+		cspan.End()
 		if err != nil {
 			if s.baseCtx.Err() != nil {
 				return nil, ErrShuttingDown
@@ -329,17 +403,43 @@ func (s *Server) cached(w http.ResponseWriter, key string, compute func(ctx cont
 	}
 	state := leaderState
 	if shared {
-		s.metrics.dedup.Add(1)
 		state = "dedup"
 	}
-	s.writeCached(w, state, body)
+	s.countServed(w, r, state, body)
 }
 
-// writeCached writes a cacheable body with its X-Cache state.
-func (s *Server) writeCached(w http.ResponseWriter, state string, body []byte) {
+// countServed writes a cacheable body with its X-Cache state and, only
+// if the write fully succeeds, counts the cache outcome on both the
+// expvar counters and the per-route obs series. A failed write (client
+// gone mid-stream) counts nothing — the satellite-6 overcounting fix.
+func (s *Server) countServed(w http.ResponseWriter, r *http.Request, state string, body []byte) {
+	if err := writeCached(w, state, body); err != nil {
+		return
+	}
+	switch state {
+	case "hit":
+		s.metrics.hits.Add(1)
+	case "miss":
+		s.metrics.misses.Add(1)
+	case "dedup":
+		s.metrics.dedup.Add(1)
+	}
+	s.obs.route(r.Pattern).cacheEvent(state)
+}
+
+// writeCached writes a cacheable body with its X-Cache state, reporting
+// whether the full body reached the client.
+func writeCached(w http.ResponseWriter, state string, body []byte) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", state)
-	w.Write(body)
+	n, err := w.Write(body)
+	if err != nil {
+		return err
+	}
+	if n != len(body) {
+		return fmt.Errorf("serve: short write: %d of %d bytes", n, len(body))
+	}
+	return nil
 }
 
 // handleHealthz reports liveness.
@@ -349,10 +449,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok"})
 }
 
-// handleMetrics serves the server's expvar counters as JSON.
+// handleMetrics serves the server's expvar counters as JSON. The key
+// set — latency_ms_total included — is frozen for backward
+// compatibility; the per-endpoint histograms live at /metrics/prom.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, s.metrics.vars.String())
+}
+
+// handleMetricsProm serves the Prometheus text exposition: the server's
+// own registry (per-route request/latency/cache series, job-queue
+// depth) followed by the process-global registry (estimator, mc, core,
+// sweep engine metrics). The two registries use disjoint name prefixes,
+// so the concatenation is a valid exposition.
+func (s *Server) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obs.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	obs.Default().WritePrometheus(w)
 }
 
 // EstimateRequest asks for one Pr[A] estimate. Omitted fields take the
@@ -486,7 +601,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.cached(w, key, func(ctx context.Context) (any, error) {
+	s.cached(w, r, key, func(ctx context.Context) (any, error) {
 		// Workers: 1 keeps the semaphore, not per-request fan-out, as
 		// the endpoint's parallelism bound — EstimateWorkers concurrent
 		// single-streamed computations, not EstimateWorkers² goroutines.
@@ -559,7 +674,7 @@ func (s *Server) handleWindowDist(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.cached(w, key, func(ctx context.Context) (any, error) {
+	s.cached(w, r, key, func(ctx context.Context) (any, error) {
 		res, err := estimator.EstimateExec(ctx, query, estimator.Exec{Workers: 1})
 		if err != nil {
 			return nil, err
@@ -575,7 +690,7 @@ func (s *Server) handleWindowDist(w http.ResponseWriter, r *http.Request) {
 // encoding shared with cmd/litmusrun -json. The matrix is static, so it
 // is cached like any other deterministic result.
 func (s *Server) handleLitmus(w http.ResponseWriter, r *http.Request) {
-	s.cached(w, "litmus", func(ctx context.Context) (any, error) {
+	s.cached(w, r, "litmus", func(ctx context.Context) (any, error) {
 		results, err := litmus.CheckAll()
 		if err != nil {
 			return nil, err

@@ -1,0 +1,21 @@
+package sweep
+
+import (
+	"memreliability/internal/obs"
+)
+
+// Sweep-engine metrics on the process-global registry. Cells count at
+// completion inside the workers (atomic, allocation-free); the artifact
+// build histogram observes the whole expand→run→collect wall time at
+// the run's sequential tail.
+var (
+	sweepRuns = obs.Default().Counter("sweep_runs_total",
+		"Sweep runs started.")
+	sweepCellsCompleted = obs.Default().Counter("sweep_cells_completed_total",
+		"Grid cells estimated successfully.")
+	sweepCellsFailed = obs.Default().Counter("sweep_cells_failed_total",
+		"Grid cells that returned an error.")
+	sweepArtifactBuildSeconds = obs.Default().Histogram("sweep_artifact_build_seconds",
+		"Wall-clock time from spec expansion to collected artifact.",
+		obs.LatencyBuckets())
+)

@@ -26,10 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
+	"time"
 
 	"memreliability/internal/estimator"
 	"memreliability/internal/memmodel"
+	"memreliability/internal/obs"
 )
 
 // ErrBadSpec reports an invalid sweep specification.
@@ -308,6 +311,8 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Artifact, error) {
 	if err := norm.Validate(); err != nil {
 		return nil, err
 	}
+	sweepRuns.Inc()
+	buildStart := time.Now()
 	cells := norm.Expand()
 
 	// One deterministic RNG substream seed per cell, fixed by the spec
@@ -337,18 +342,27 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Artifact, error) {
 	jobs := make(chan int)
 	var sinkMu sync.Mutex
 
+	// Per-cell child spans are created here in the sequential feed loop —
+	// never inside the workers — so span order is cell-index order and
+	// the exported trace tree is deterministic at any worker count.
+	parent := obs.SpanFrom(ctx)
+	spans := make([]*obs.Span, len(cells))
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for idx := range jobs {
-				res, err := runCell(runCtx, norm, cells[idx], seeds[idx], inner[w], opts.Timing)
+				res, err := runCell(obs.WithSpan(runCtx, spans[idx]), norm, cells[idx], seeds[idx], inner[w], opts.Timing)
+				spans[idx].End()
 				if err != nil {
+					sweepCellsFailed.Inc()
 					errs[w] = err
 					cancel()
 					return
 				}
+				sweepCellsCompleted.Inc()
 				results[idx] = res
 				if opts.Sink != nil {
 					sinkMu.Lock()
@@ -361,6 +375,10 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Artifact, error) {
 
 feed:
 	for idx := range cells {
+		spans[idx] = parent.Child("sweep.cell",
+			obs.L("index", strconv.Itoa(idx)),
+			obs.L("model", cells[idx].Model),
+			obs.L("kind", string(cells[idx].Estimator)))
 		select {
 		case jobs <- idx:
 		case <-runCtx.Done():
@@ -392,6 +410,7 @@ feed:
 	// including it would break byte-identical artifacts across -workers.
 	echo := norm
 	echo.Workers = 0
+	sweepArtifactBuildSeconds.Observe(time.Since(buildStart).Seconds())
 	return &Artifact{
 		SchemaVersion: ArtifactVersion,
 		Spec:          echo,

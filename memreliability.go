@@ -47,6 +47,7 @@ import (
 	"memreliability/internal/machine"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
+	"memreliability/internal/obs"
 	"memreliability/internal/serve"
 	"memreliability/internal/sweep"
 )
@@ -419,3 +420,31 @@ type EstimateResponse = serve.EstimateResponse
 // the sweep engine's reproducibility guarantee. Call Close to release
 // its workers.
 func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// Span is one node of a query-scoped trace: a named, timed interval
+// with attributes and children. Spans observe the estimate lifecycle at
+// its sequential barriers only, so the same (query, seed) yields the
+// identical span structure at any worker count and estimation results
+// are never perturbed. All methods are nil-safe — an untraced run pays
+// only a nil check.
+type Span = obs.Span
+
+// NewTrace starts a root span. Attach it to a context with WithSpan and
+// pass that context to Estimate/EstimateBatch/SweepRun; the engine adds
+// children at validation, dispatch, adaptive rounds, and merge points.
+// After End, Span.WriteJSON exports the tree.
+func NewTrace(name string) *Span { return obs.NewTrace(name) }
+
+// WithSpan returns a context carrying the span for the engine to attach
+// children to.
+func WithSpan(ctx context.Context, s *Span) context.Context { return obs.WithSpan(ctx, s) }
+
+// MetricsRegistry is a typed metrics registry (atomic counters, gauges,
+// fixed-bucket histograms) with deterministic Prometheus text
+// exposition via WritePrometheus.
+type MetricsRegistry = obs.Registry
+
+// EngineMetrics returns the process-global registry the estimation
+// engine instruments (estimator_*, mc_*, core_*, sweep_* families).
+// Servers additionally expose it at GET /metrics/prom.
+func EngineMetrics() *MetricsRegistry { return obs.Default() }

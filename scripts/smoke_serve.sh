@@ -57,6 +57,51 @@ if ! curl -sf "$BASE/metrics" | grep -q '"cache_hits": *[1-9]'; then
 fi
 echo "smoke-serve: second request hit the cache"
 
+# The Prometheus exposition must be well-formed: HELP/TYPE headers, the
+# per-kind estimator counter raised by the estimates above, and
+# monotone (cumulative) histogram buckets.
+curl -sf "$BASE/metrics/prom" >"$WORKDIR/prom"
+for want in '# HELP serve_requests_total' '# TYPE serve_requests_total counter' \
+            '# TYPE serve_request_seconds histogram' '# TYPE estimator_queries_total counter'; do
+    if ! grep -qF "$want" "$WORKDIR/prom"; then
+        echo "smoke-serve: /metrics/prom missing \"$want\"" >&2
+        cat "$WORKDIR/prom" >&2
+        exit 1
+    fi
+done
+if ! grep -qE '^estimator_queries_total\{kind="exact"\} [1-9]' "$WORKDIR/prom"; then
+    echo "smoke-serve: estimate did not raise estimator_queries_total{kind=\"exact\"}" >&2
+    grep '^estimator_queries_total' "$WORKDIR/prom" >&2 || true
+    exit 1
+fi
+# Cumulative bucket counts must never decrease within one series.
+if ! awk -F'[ }]' '
+    /_bucket\{/ {
+        split($0, kv, "le=\"")
+        series = substr($0, 1, index($0, "le=\"") - 1)
+        count = $NF + 0
+        if (series in last && count < last[series]) {
+            print "non-monotone bucket: " $0
+            exit 1
+        }
+        last[series] = count
+        buckets++
+    }
+    END { if (buckets == 0) { print "no histogram buckets"; exit 1 } }
+' "$WORKDIR/prom"; then
+    echo "smoke-serve: /metrics/prom histogram buckets are broken" >&2
+    exit 1
+fi
+echo "smoke-serve: /metrics/prom exposition ok"
+
+# Every response must carry an X-Request-ID.
+if ! grep -qi '^x-request-id: ' "$WORKDIR/h1"; then
+    echo "smoke-serve: estimate response missing X-Request-ID" >&2
+    cat "$WORKDIR/h1" >&2
+    exit 1
+fi
+echo "smoke-serve: X-Request-ID present"
+
 # SIGTERM must shut the daemon down cleanly.
 kill "$PID"
 STATUS=0
