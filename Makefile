@@ -8,7 +8,7 @@ GO ?= go
 # Pinned staticcheck (2025.1.1); CI installs exactly this version.
 STATICCHECK_VERSION ?= v0.6.1
 
-.PHONY: all build test bench bench-adaptive bench-bits bench-compare staticcheck staticcheck-install lint smoke-serve vuln ci
+.PHONY: all build test bench bench-adaptive bench-bits bench-compare staticcheck staticcheck-install lint smoke-serve smoke-cluster vuln ci
 
 all: ci
 
@@ -69,6 +69,12 @@ bench-compare:
 smoke-serve:
 	./scripts/smoke_serve.sh
 
+# smoke-cluster boots a 2-worker + coordinator fleet with a shared
+# persistent store and checks the distributed artifact is byte-identical
+# to single-process memsweep -o.
+smoke-cluster:
+	./scripts/smoke_cluster.sh
+
 # vuln scans the module with govulncheck when the tool is available
 # (CI installs it; offline dev machines skip with a notice).
 vuln:
@@ -78,4 +84,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: lint staticcheck build test bench bench-adaptive bench-bits bench-compare smoke-serve vuln
+ci: lint staticcheck build test bench bench-adaptive bench-bits bench-compare smoke-serve smoke-cluster vuln

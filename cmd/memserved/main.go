@@ -10,6 +10,21 @@
 //	memserved                          # listen on :8080
 //	memserved -addr 127.0.0.1:9090 -cache-size 4096 -sweep-workers 2
 //	memserved -pprof-addr 127.0.0.1:6060   # profiling on a separate port
+//	memserved -store-dir /var/lib/memserved  # persistent result store
+//
+// Distributed mode (see the README's "Distributed mode" section):
+//
+//	memserved -mode=worker -addr :8081
+//	memserved -mode=coordinator -cluster-workers http://h1:8081,http://h2:8081 \
+//	    -store-dir /shared/results
+//
+// The default -mode=standalone keeps the historical single-process
+// behavior. A worker serves the stateless cell-execution API
+// (POST /v1/cells, /healthz, /metrics/prom); a coordinator serves the
+// full API but runs async sweep jobs on the worker fleet, sharding
+// cells by canonical key, deduplicating against the store, and
+// retrying a failed worker's cells on survivors — artifacts stay
+// byte-identical to standalone output at any fleet size.
 //
 // Endpoints: POST /v1/estimate, POST /v1/windowdist, GET /v1/litmus,
 // POST /v1/sweeps (+ GET /v1/sweeps, /v1/sweeps/{id},
@@ -31,10 +46,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"memreliability/internal/cluster"
 	"memreliability/internal/serve"
+	"memreliability/internal/store"
 )
 
 func main() {
@@ -59,12 +77,12 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain budget for open connections")
 	logRequests := fs.Bool("log-requests", true, "emit one structured JSON log line per request (request_id, route, status, latency)")
 	pprofAddr := fs.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	mode := fs.String("mode", "standalone", "process role: standalone | worker | coordinator")
+	clusterWorkers := fs.String("cluster-workers", "", "comma-separated worker base URLs (coordinator mode, e.g. http://h1:8081,http://h2:8081)")
+	storeDir := fs.String("store-dir", "", "persistent content-addressed result store directory (standalone and coordinator; empty = disabled)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "coordinator per-cell dispatch timeout (0 = 60s)")
+	cellRetries := fs.Int("cell-retries", 0, "coordinator per-cell failed-dispatch budget before the sweep fails (0 = 3)")
 	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	l, err := net.Listen("tcp", *addr)
-	if err != nil {
 		return err
 	}
 
@@ -80,6 +98,52 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		cfg.Logger = slog.New(slog.NewJSONHandler(logw, nil))
 	}
 
+	worker := false
+	switch *mode {
+	case "standalone":
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				return err
+			}
+			cfg.Store = st
+		}
+	case "coordinator":
+		urls := splitURLs(*clusterWorkers)
+		if len(urls) == 0 {
+			return fmt.Errorf("coordinator mode requires -cluster-workers")
+		}
+		ccfg := cluster.Config{
+			Workers:     urls,
+			CellTimeout: *cellTimeout,
+			MaxRetries:  *cellRetries,
+		}
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				return err
+			}
+			// One store serves both tiers: the coordinator's cell-level
+			// dedup and the API's response cache.
+			ccfg.Store = st
+			cfg.Store = st
+		}
+		coord, err := cluster.New(ccfg)
+		if err != nil {
+			return err
+		}
+		cfg.RunSweep = coord.RunSweep
+	case "worker":
+		worker = true
+	default:
+		return fmt.Errorf("unknown -mode %q (standalone | worker | coordinator)", *mode)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
 	if *pprofAddr != "" {
 		stopProf, err := startPprof(*pprofAddr, logw)
 		if err != nil {
@@ -89,7 +153,22 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 		defer stopProf()
 	}
 
+	if worker {
+		h := cluster.NewWorker(cluster.WorkerConfig{Workers: *sweepCellWorkers})
+		return serveHandler(ctx, l, h, func() {}, *drainTimeout, logw)
+	}
 	return serveListener(ctx, l, cfg, *drainTimeout, logw)
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty entries.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // startPprof serves the standard pprof handlers on their own listener —
@@ -112,17 +191,23 @@ func startPprof(addr string, logw io.Writer) (func(), error) {
 	return func() { srv.Close() }, nil
 }
 
-// serveListener runs the service on l until ctx is canceled, then drains:
-// open connections get drainTimeout to finish, and the server's workers
-// are stopped. Split from run so tests can inject a listener on an
-// ephemeral port.
+// serveListener runs the API service on l until ctx is canceled. Split
+// from run so tests can inject a listener on an ephemeral port.
 func serveListener(ctx context.Context, l net.Listener, cfg serve.Config, drainTimeout time.Duration, logw io.Writer) error {
 	srv, err := serve.New(cfg)
 	if err != nil {
 		l.Close()
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv}
+	return serveHandler(ctx, l, srv, srv.Close, drainTimeout, logw)
+}
+
+// serveHandler runs any handler on l until ctx is canceled, then drains:
+// closeWork stops the handler's background work first (so drained
+// handlers answer quickly with 503 instead of holding connections for a
+// full compute), and open connections get drainTimeout to finish.
+func serveHandler(ctx context.Context, l net.Listener, h http.Handler, closeWork func(), drainTimeout time.Duration, logw io.Writer) error {
+	httpSrv := &http.Server{Handler: h}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(l) }()
@@ -130,7 +215,7 @@ func serveListener(ctx context.Context, l net.Listener, cfg serve.Config, drainT
 
 	select {
 	case err := <-errc:
-		srv.Close()
+		closeWork()
 		return err
 	case <-ctx.Done():
 	}
@@ -138,9 +223,7 @@ func serveListener(ctx context.Context, l net.Listener, cfg serve.Config, drainT
 	fmt.Fprintln(logw, "memserved: shutting down")
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
-	// Stop computations first so drained handlers answer quickly with
-	// 503 instead of holding connections for the full compute.
-	srv.Close()
+	closeWork()
 	shutdownErr := httpSrv.Shutdown(drainCtx)
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

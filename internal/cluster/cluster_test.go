@@ -1,0 +1,335 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"memreliability/internal/store"
+	"memreliability/internal/sweep"
+)
+
+// testSpec is a small mixed-kind grid: per model, exact + mc + hybrid +
+// windowdist at n=2 and exact (skipped) + mc + hybrid at n=3 — 14
+// cells, every estimator kind, including a skipped cell.
+func testSpec() sweep.Spec {
+	spec := sweep.DefaultSpec()
+	spec.Models = []string{"SC", "TSO"}
+	spec.Threads = []int{2, 3}
+	spec.PrefixLens = []int{12}
+	spec.Estimators = []sweep.Kind{sweep.Exact, sweep.FullMC, sweep.Hybrid, sweep.WindowDist}
+	spec.Trials = 2048
+	spec.Seed = 7
+	return spec
+}
+
+// countingWorker wraps the worker handler with a served-request counter.
+type countingWorker struct {
+	h http.Handler
+	n atomic.Int64
+}
+
+func (cw *countingWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	cw.n.Add(1)
+	cw.h.ServeHTTP(w, r)
+}
+
+// startWorkers boots n in-process workers over real HTTP.
+func startWorkers(t *testing.T, n int) ([]string, []*countingWorker) {
+	t.Helper()
+	urls := make([]string, n)
+	counters := make([]*countingWorker, n)
+	for i := 0; i < n; i++ {
+		cw := &countingWorker{h: NewWorker(WorkerConfig{Workers: 1})}
+		ts := httptest.NewServer(cw)
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+		counters[i] = cw
+	}
+	return urls, counters
+}
+
+// artifactBytes encodes an artifact exactly as memsweep -o would.
+func artifactBytes(t *testing.T, art *sweep.Artifact) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := art.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// standaloneBytes runs the spec through the single-node engine.
+func standaloneBytes(t *testing.T, spec sweep.Spec) []byte {
+	t.Helper()
+	art, err := sweep.Run(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifactBytes(t, art)
+}
+
+// TestDistributedMatchesStandalone is the cross-process worker-count-
+// invariance property: the same spec run standalone and distributed at
+// 1, 2, and 4 workers produces byte-identical artifacts.
+func TestDistributedMatchesStandalone(t *testing.T) {
+	spec := testSpec()
+	want := standaloneBytes(t, spec)
+
+	for _, workers := range []int{1, 2, 4} {
+		urls, _ := startWorkers(t, workers)
+		coord, err := New(Config{Workers: urls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sunk atomic.Int64
+		art, err := coord.RunSweep(context.Background(), spec,
+			sweep.Options{Sink: func(sweep.CellResult) { sunk.Add(1) }})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := artifactBytes(t, art)
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: distributed artifact differs from standalone (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
+		if int(sunk.Load()) != len(art.Cells) {
+			t.Errorf("workers=%d: sink saw %d cells, want %d", workers, sunk.Load(), len(art.Cells))
+		}
+	}
+}
+
+// killableWorker serves its first request normally, then drops every
+// connection — indistinguishable from a killed worker process.
+type killableWorker struct {
+	h      http.Handler
+	served atomic.Int64
+}
+
+func (kw *killableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if kw.served.Add(1) > 1 {
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			panic("test server must support hijacking")
+		}
+		conn, _, err := hj.Hijack()
+		if err == nil {
+			conn.Close()
+		}
+		return
+	}
+	kw.h.ServeHTTP(w, r)
+}
+
+// TestWorkerKilledMidSweepRetries kills one worker after its first cell
+// and requires the surviving worker to absorb the orphaned cells with a
+// byte-identical artifact — the satellite's failure-path determinism.
+func TestWorkerKilledMidSweepRetries(t *testing.T) {
+	spec := testSpec()
+	want := standaloneBytes(t, spec)
+
+	kw := &killableWorker{h: NewWorker(WorkerConfig{Workers: 1})}
+	dying := httptest.NewServer(kw)
+	t.Cleanup(dying.Close)
+	survivorURLs, survivors := startWorkers(t, 1)
+
+	coord, err := New(Config{
+		Workers:     []string{dying.URL, survivorURLs[0]},
+		CellTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retriesBefore := coord.wm[0].retries.Value()
+	art, err := coord.RunSweep(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := artifactBytes(t, art); !bytes.Equal(got, want) {
+		t.Error("artifact after worker kill differs from standalone")
+	}
+	if kw.served.Load() < 2 {
+		t.Fatalf("dying worker saw %d requests; the kill never fired mid-sweep", kw.served.Load())
+	}
+	if survivors[0].n.Load() == 0 {
+		t.Error("survivor computed nothing; orphaned cells were not retried")
+	}
+	if coord.wm[0].retries.Value() <= retriesBefore {
+		t.Error("retry counter did not move for the killed worker")
+	}
+}
+
+// TestWarmStoreRestartZeroRuns is the acceptance criterion: a fresh
+// coordinator against a warm content-addressed store completes the
+// same sweep with zero dispatches (and hence zero estimator runs),
+// asserted via the obs counters, with byte-identical artifacts.
+func TestWarmStoreRestartZeroRuns(t *testing.T) {
+	spec := testSpec()
+	want := standaloneBytes(t, spec)
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urls, counters := startWorkers(t, 2)
+	cold, err := New(Config{Workers: urls, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art1, err := cold.RunSweep(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := artifactBytes(t, art1); !bytes.Equal(got, want) {
+		t.Fatal("cold distributed artifact differs from standalone")
+	}
+	coldRequests := counters[0].n.Load() + counters[1].n.Load()
+	if coldRequests == 0 {
+		t.Fatal("cold run dispatched nothing")
+	}
+
+	// "Restart": a brand-new coordinator over the same store. Every
+	// cell must come from disk — no worker traffic, no estimator runs.
+	warm, err := New(Config{Workers: urls, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dedupBefore := storeDedup.Value()
+	dispatchBefore := warm.wm[0].dispatch.Value() + warm.wm[1].dispatch.Value()
+	art2, err := warm.RunSweep(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := artifactBytes(t, art2); !bytes.Equal(got, want) {
+		t.Fatal("warm distributed artifact differs from standalone")
+	}
+	if extra := counters[0].n.Load() + counters[1].n.Load() - coldRequests; extra != 0 {
+		t.Errorf("warm run sent %d worker requests, want 0", extra)
+	}
+	if d := warm.wm[0].dispatch.Value() + warm.wm[1].dispatch.Value() - dispatchBefore; d != 0 {
+		t.Errorf("warm run dispatch counter moved by %d, want 0", d)
+	}
+	if d := storeDedup.Value() - dedupBefore; d != int64(len(art2.Cells)) {
+		t.Errorf("store dedup counter moved by %d, want %d", d, len(art2.Cells))
+	}
+}
+
+// TestAllWorkersDeadFails: when every worker has been retired, the
+// sweep fails with ErrNoWorkers instead of hanging.
+func TestAllWorkersDeadFails(t *testing.T) {
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(failing.Close)
+
+	coord, err := New(Config{Workers: []string{failing.URL, failing.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.RunSweep(context.Background(), testSpec(), sweep.Options{})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+// TestRetryBudgetExhausted: with a fleet wider than the retry bound,
+// one poisoned cell exhausts its bounded retries and fails the sweep
+// before the whole fleet is retired.
+func TestRetryBudgetExhausted(t *testing.T) {
+	failing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(failing.Close)
+
+	urls := []string{failing.URL, failing.URL, failing.URL, failing.URL, failing.URL}
+	coord, err := New(Config{Workers: urls, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.RunSweep(context.Background(), testSpec(), sweep.Options{})
+	if err == nil {
+		t.Fatal("sweep succeeded against an all-failing fleet")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") && !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want retry-budget or no-workers failure", err)
+	}
+}
+
+// TestPermanentRejectionFailsFast: a worker 400 (canonical validation)
+// must fail the sweep without being retried on survivors.
+func TestPermanentRejectionFailsFast(t *testing.T) {
+	var served atomic.Int64
+	rejecting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		http.Error(w, `{"error":"bad cell"}`, http.StatusBadRequest)
+	}))
+	t.Cleanup(rejecting.Close)
+
+	coord, err := New(Config{Workers: []string{rejecting.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = coord.RunSweep(context.Background(), testSpec(), sweep.Options{})
+	if !errors.Is(err, errPermanent) {
+		t.Fatalf("err = %v, want permanent rejection", err)
+	}
+}
+
+// TestCancellation: canceling the caller's context surfaces as a
+// context error, not a worker failure.
+func TestCancellation(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body first: net/http only watches for client
+		// disconnects (and cancels r.Context) once the body is consumed.
+		io.Copy(io.Discard, r.Body) //nolint:errcheck
+		<-r.Context().Done()
+	}))
+	t.Cleanup(slow.Close)
+
+	coord, err := New(Config{Workers: []string{slow.URL}, CellTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err = coord.RunSweep(ctx, testSpec(), sweep.Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestConfigValidation covers the constructor's rejections, including
+// the timing knob that would break artifact byte-identity.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty fleet: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(Config{Workers: []string{""}}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty URL: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(Config{Workers: []string{"http://x"}, MaxRetries: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative retries: err = %v, want ErrBadConfig", err)
+	}
+	coord, err := New(Config{Workers: []string{"http://x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.RunSweep(context.Background(), testSpec(), sweep.Options{Timing: true}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("timing: err = %v, want ErrBadConfig", err)
+	}
+	bad := testSpec()
+	bad.Models = nil
+	if _, err := coord.RunSweep(context.Background(), bad, sweep.Options{}); !errors.Is(err, sweep.ErrBadSpec) {
+		t.Errorf("bad spec: err = %v, want sweep.ErrBadSpec", err)
+	}
+}

@@ -1,0 +1,42 @@
+package cluster
+
+import (
+	"strconv"
+
+	"memreliability/internal/obs"
+)
+
+// Cluster metrics live on the process-global engine registry (PR 7's
+// obs.Default), so a coordinator-mode memserved exposes them at
+// /metrics/prom next to the estimator and store series. Per-worker
+// series are labeled by the worker's index in the configured fleet —
+// registration is idempotent, so coordinators of any fleet size share
+// the family.
+var (
+	queueDepthGauge = obs.Default().Gauge("cluster_shard_queue_depth",
+		"Cells assigned to worker shard queues and not yet dispatched.")
+	storeDedup = obs.Default().Counter("cluster_store_dedup_total",
+		"Cells served from the content-addressed store without dispatch.")
+	sweepsTotal = obs.Default().Counter("cluster_sweeps_total",
+		"Distributed sweeps run by this coordinator.")
+)
+
+// workerMetrics is one configured worker's instrumentation bundle.
+type workerMetrics struct {
+	dispatch *obs.Counter
+	latency  *obs.Histogram
+	retries  *obs.Counter
+}
+
+// metricsForWorker resolves the per-worker series for fleet index i.
+func metricsForWorker(i int) *workerMetrics {
+	label := obs.L("worker", strconv.Itoa(i))
+	return &workerMetrics{
+		dispatch: obs.Default().Counter("cluster_dispatch_total",
+			"Cells dispatched to each worker, retries included.", label),
+		latency: obs.Default().Histogram("cluster_dispatch_seconds",
+			"Wall-clock dispatch latency per cell, by worker.", obs.LatencyBuckets(), label),
+		retries: obs.Default().Counter("cluster_retries_total",
+			"Dispatch failures per worker that moved the cell to a survivor.", label),
+	}
+}

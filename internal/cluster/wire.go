@@ -1,0 +1,84 @@
+// Package cluster is the scale-out estimation layer: a thin coordinator
+// that shards sweep cells across N worker processes and merges their
+// results into the same byte-identical versioned artifact the
+// single-node engine produces.
+//
+// The design follows the PoCL-R pattern (server-side-scalable
+// offloading of compute to remote workers): the coordinator owns the
+// canonical decomposition — spec normalization, grid expansion, and
+// per-cell substream seed derivation, exactly the single-node
+// sweep.Run pipeline — and workers are stateless estimator executors.
+// Because every cell is deterministic in its (query, substream seed),
+// placement is pure scheduling: an artifact depends only on the spec,
+// never on the worker count, worker failures, or retry interleaving.
+// Worker-count invariance, proven in-process since PR 1, extends
+// across process boundaries by construction.
+//
+// Wire protocol (all JSON over HTTP, reusing the estimator package's
+// canonical Query/Result forms — no parallel encoding to drift):
+//
+//	POST {worker}/v1/cells   {"cells":[{"index":i,"query":Query,"seed":n}]}
+//	  → 200 {"results":[{"index":i,"result":Result}]}
+//	  → 400 on a query that fails canonical validation (permanent)
+//	  → 5xx on an execution failure (retryable)
+//	GET  {worker}/healthz
+//	GET  {worker}/metrics/prom
+//
+// Cross-node cache reuse comes from the content-addressed store: the
+// coordinator keys each cell by its canonical query encoding plus its
+// derived substream seed, consults the store before dispatching, and
+// writes every computed result through — so fleet siblings and
+// restarts serve warm cells without re-running estimators.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"memreliability/internal/estimator"
+)
+
+// cellTask is one unit of distributed work: a canonical estimator
+// query plus the substream seed the coordinator derived for its grid
+// index (the engine's DeriveSeeds contract — the seed is NOT derivable
+// from the query alone, so it travels on the wire).
+type cellTask struct {
+	// Index is the cell's position in the expanded grid; workers echo
+	// it so batch responses need no ordering guarantee.
+	Index int `json:"index"`
+	// Query is the canonical estimator query (the estimator package's
+	// wire form, shared with /v1/estimate and the sweep spec).
+	Query estimator.Query `json:"query"`
+	// Seed is the derived RNG substream seed for this cell.
+	Seed uint64 `json:"seed"`
+}
+
+// cellsRequest is the worker request body.
+type cellsRequest struct {
+	Cells []cellTask `json:"cells"`
+}
+
+// cellResultWire pairs a computed estimator result with its grid index.
+type cellResultWire struct {
+	Index  int              `json:"index"`
+	Result estimator.Result `json:"result"`
+}
+
+// cellsResponse is the worker response body.
+type cellsResponse struct {
+	Results []cellResultWire `json:"results"`
+}
+
+// CellKey is the content address of one distributed cell result: the
+// canonical JSON encoding of the normalized query plus the derived
+// substream seed. Two sweeps whose grids share a (query, seed) cell —
+// any spec prefix reordering that preserves the derivation — share the
+// stored result, across processes and restarts.
+func CellKey(q estimator.Query, seed uint64) (string, error) {
+	data, err := json.Marshal(q)
+	if err != nil {
+		return "", fmt.Errorf("cluster: encode cell key: %w", err)
+	}
+	return "cell:" + string(data) + ":sub=" + strconv.FormatUint(seed, 10), nil
+}

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
-	"sort"
 	"sync"
 
 	"memreliability/internal/obs"
@@ -75,10 +74,16 @@ type jobRecord struct {
 // submission evicts the oldest terminal job (with its retained artifact)
 // — and is refused with ErrBusy when every record is still queued or
 // running, so a long-running daemon's memory stays bounded.
+// sweepRunner is the engine a job store executes sweeps on. The default
+// is the in-process sweep.Run; coordinator mode substitutes the
+// distributed cluster engine. Byte-identity is the contract either way.
+type sweepRunner func(ctx context.Context, spec sweep.Spec, opts sweep.Options) (*sweep.Artifact, error)
+
 type jobStore struct {
 	workers     int
 	cellWorkers int
 	maxJobs     int
+	runner      sweepRunner
 
 	mu    sync.Mutex
 	jobs  map[string]*jobRecord
@@ -92,12 +97,16 @@ type jobStore struct {
 // newJobStore starts workers goroutines consuming the job queue. ctx
 // bounds every job's compute; cancel it (and then drainAndWait) to shut
 // the store down. depth is the queue-depth gauge, updated at every
-// enqueue and pickup.
-func newJobStore(ctx context.Context, workers, cellWorkers, queueDepth, maxJobs int, depth *obs.Gauge) *jobStore {
+// enqueue and pickup. A nil runner selects the in-process sweep engine.
+func newJobStore(ctx context.Context, workers, cellWorkers, queueDepth, maxJobs int, depth *obs.Gauge, runner sweepRunner) *jobStore {
+	if runner == nil {
+		runner = sweep.Run
+	}
 	st := &jobStore{
 		workers:     workers,
 		cellWorkers: cellWorkers,
 		maxJobs:     maxJobs,
+		runner:      runner,
 		jobs:        make(map[string]*jobRecord),
 		queue:       make(chan *jobRecord, queueDepth),
 		depth:       depth,
@@ -221,7 +230,7 @@ func (st *jobStore) run(ctx context.Context, j *jobRecord) {
 		j.cellsDone++
 		st.mu.Unlock()
 	}}
-	art, err := sweep.Run(ctx, spec, opts)
+	art, err := st.runner(ctx, spec, opts)
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -255,15 +264,17 @@ func (st *jobStore) Status(id string) (JobStatus, error) {
 	return st.statusLocked(j), nil
 }
 
-// List returns every job's status, sorted by ID for deterministic output.
+// List returns every job's status in creation order, oldest first — the
+// store's insertion log, so the listing is deterministic, stable across
+// calls, and mirrors the eviction order. IDs are content hashes, so
+// sorting by ID would interleave unrelated submissions arbitrarily.
 func (st *jobStore) List() []JobStatus {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	out := make([]JobStatus, 0, len(st.jobs))
-	for _, j := range st.jobs {
-		out = append(out, st.statusLocked(j))
+	out := make([]JobStatus, 0, len(st.order))
+	for _, id := range st.order {
+		out = append(out, st.statusLocked(st.jobs[id]))
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
 	return out
 }
 

@@ -72,7 +72,7 @@ func TestJobIDIgnoresWorkers(t *testing.T) {
 
 func TestJobStoreSubmitRunDedup(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 1, 0, 4, 64, testQueueGauge())
+	st := newJobStore(ctx, 1, 0, 4, 64, testQueueGauge(), nil)
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -107,7 +107,7 @@ func TestJobStoreSubmitRunDedup(t *testing.T) {
 
 func TestJobStoreValidatesSpec(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 1, 0, 4, 64, testQueueGauge())
+	st := newJobStore(ctx, 1, 0, 4, 64, testQueueGauge(), nil)
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -122,7 +122,7 @@ func TestJobStoreValidatesSpec(t *testing.T) {
 func TestJobStoreQueueBound(t *testing.T) {
 	// Zero workers: nothing drains the queue, so the bound must bite.
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 2, 64, testQueueGauge())
+	st := newJobStore(ctx, 0, 0, 2, 64, testQueueGauge(), nil)
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -143,7 +143,7 @@ func TestJobStoreQueueBound(t *testing.T) {
 
 func TestJobStoreEvictsOldestTerminal(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 1, 0, 4, 2, testQueueGauge())
+	st := newJobStore(ctx, 1, 0, 4, 2, testQueueGauge(), nil)
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -191,7 +191,7 @@ func TestJobStoreRefusesWhenAllActive(t *testing.T) {
 	// Zero workers: submitted jobs stay queued (active) forever, so at
 	// capacity there is nothing evictable.
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 4, 2, testQueueGauge())
+	st := newJobStore(ctx, 0, 0, 4, 2, testQueueGauge(), nil)
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -210,7 +210,7 @@ func TestJobStoreFullQueueDoesNotEvict(t *testing.T) {
 	// A submission that will be refused for queue capacity must not
 	// first destroy a retained artifact.
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 1, 2, testQueueGauge())
+	st := newJobStore(ctx, 0, 0, 1, 2, testQueueGauge(), nil)
 	defer func() {
 		cancel()
 		st.drainAndWait()
@@ -239,7 +239,7 @@ func TestJobStoreFullQueueDoesNotEvict(t *testing.T) {
 
 func TestJobStoreShutdownCancelsQueued(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
-	st := newJobStore(ctx, 0, 0, 4, 64, testQueueGauge())
+	st := newJobStore(ctx, 0, 0, 4, 64, testQueueGauge(), nil)
 	status, _, err := st.Submit(ctx, smallSpec(9))
 	if err != nil {
 		t.Fatal(err)
@@ -255,5 +255,79 @@ func TestJobStoreShutdownCancelsQueued(t *testing.T) {
 	}
 	if _, _, err := st.Submit(ctx, smallSpec(10)); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("post-shutdown submit err = %v, want ErrShuttingDown", err)
+	}
+}
+
+// TestJobStoreListCreationOrder: List returns jobs oldest-first in
+// submission order, not sorted by content-hash ID.
+func TestJobStoreListCreationOrder(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	// No workers: jobs stay queued, so the listing is pure bookkeeping.
+	st := newJobStore(ctx, 0, 0, 8, 64, testQueueGauge(), nil)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+
+	var want []string
+	for seed := uint64(1); seed <= 6; seed++ {
+		status, created, err := st.Submit(ctx, smallSpec(seed))
+		if err != nil || !created {
+			t.Fatalf("submit seed %d: created=%v err=%v", seed, created, err)
+		}
+		want = append(want, status.ID)
+	}
+
+	// Guard the test's meaning: with hashed IDs the submission order
+	// must differ from ID order, or this would pass under the old
+	// sort-by-ID behavior too.
+	sorted := true
+	for i := 1; i < len(want); i++ {
+		if want[i] < want[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Fatal("test seeds produced ascending IDs; pick different seeds")
+	}
+
+	got := st.List()
+	if len(got) != len(want) {
+		t.Fatalf("List returned %d jobs, want %d", len(got), len(want))
+	}
+	for i, status := range got {
+		if status.ID != want[i] {
+			t.Fatalf("List[%d] = %s, want %s (creation order)", i, status.ID, want[i])
+		}
+	}
+}
+
+// TestJobStoreCustomRunner: a configured runner replaces sweep.Run for
+// job execution and receives the normalized spec with the cell-worker
+// budget applied.
+func TestJobStoreCustomRunner(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var gotWorkers int
+	runner := func(ctx context.Context, spec sweep.Spec, opts sweep.Options) (*sweep.Artifact, error) {
+		gotWorkers = spec.Workers
+		return sweep.Run(ctx, spec, opts)
+	}
+	st := newJobStore(ctx, 1, 3, 4, 64, testQueueGauge(), runner)
+	defer func() {
+		cancel()
+		st.drainAndWait()
+	}()
+
+	status, _, err := st.Submit(ctx, smallSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, st, status.ID)
+	if final.State != StateDone {
+		t.Fatalf("final = %+v", final)
+	}
+	if gotWorkers != 3 {
+		t.Fatalf("runner saw Workers = %d, want the cell-worker budget 3", gotWorkers)
 	}
 }

@@ -74,9 +74,9 @@ func newServeObs() *serveObs {
 				"HTTP requests served, by route pattern.", label),
 			latency: o.reg.Histogram("serve_request_seconds",
 				"HTTP request latency, by route pattern.", obs.LatencyBuckets(), label),
-			cache: make(map[string]*obs.Counter, 3),
+			cache: make(map[string]*obs.Counter, 4),
 		}
-		for _, state := range []string{"hit", "miss", "dedup"} {
+		for _, state := range []string{"hit", "miss", "dedup", "disk"} {
 			rm.cache[state] = o.reg.Counter("serve_cache_events_total",
 				"Cache outcomes on successfully written responses, by route and state.",
 				label, obs.L("state", state))

@@ -276,7 +276,7 @@ func TestFailedWriteCountsNothing(t *testing.T) {
 func TestJobQueueDepthGauge(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	g := testQueueGauge()
-	st := newJobStore(ctx, 0, 0, 4, 64, g)
+	st := newJobStore(ctx, 0, 0, 4, 64, g, nil)
 	defer func() {
 		cancel()
 		st.drainAndWait()

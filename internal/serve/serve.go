@@ -25,8 +25,10 @@
 //	GET  /metrics                  expvar counters (hits, misses, …)
 //
 // Cache state travels in the X-Cache response header (miss | hit |
-// dedup), never in the body — bodies stay byte-identical across cache
-// states.
+// dedup | disk), never in the body — bodies stay byte-identical across
+// cache states. The disk state reports a hit in the optional persistent
+// content-addressed store (Config.Store), the second cache tier behind
+// the in-memory LRU, shared across restarts and fleet members.
 package serve
 
 import (
@@ -45,6 +47,7 @@ import (
 	"memreliability/internal/litmus"
 	"memreliability/internal/memmodel"
 	"memreliability/internal/obs"
+	"memreliability/internal/store"
 	"memreliability/internal/sweep"
 )
 
@@ -80,6 +83,18 @@ type Config struct {
 	// (request_id, method, route, status, duration_ms, cache state).
 	// Nil disables request logging.
 	Logger *slog.Logger
+	// Store, when non-nil, is the persistent content-addressed result
+	// store: a second cache tier behind the LRU. Responses found there
+	// serve with X-Cache: disk (and promote into the LRU); every leader
+	// computation writes through. Because results are deterministic in
+	// their canonical key, the store is safe to share across restarts
+	// and between fleet members on shared storage.
+	Store *store.Store
+	// RunSweep, when non-nil, replaces the engine async sweep jobs run
+	// on (sweep.Run) — coordinator mode plugs the distributed cluster
+	// engine in here. The contract is byte-identity: for a given spec
+	// the runner must produce the artifact sweep.Run would.
+	RunSweep func(ctx context.Context, spec sweep.Spec, opts sweep.Options) (*sweep.Artifact, error)
 }
 
 // withDefaults returns the config with zero fields replaced by defaults.
@@ -121,6 +136,7 @@ type serverMetrics struct {
 	hits         *expvar.Int   // cache hits
 	misses       *expvar.Int   // cache misses (one per leader computation)
 	dedup        *expvar.Int   // requests that shared an in-flight computation
+	diskHits     *expvar.Int   // persistent-store hits (second tier, behind the LRU)
 	computations *expvar.Int   // estimator executions (== misses; counted inside the leader)
 	inflight     *expvar.Int   // computations currently running
 	jobsAccepted *expvar.Int   // sweep jobs enqueued
@@ -135,6 +151,7 @@ func newServerMetrics() *serverMetrics {
 		hits:         new(expvar.Int),
 		misses:       new(expvar.Int),
 		dedup:        new(expvar.Int),
+		diskHits:     new(expvar.Int),
 		computations: new(expvar.Int),
 		inflight:     new(expvar.Int),
 		jobsAccepted: new(expvar.Int),
@@ -144,6 +161,7 @@ func newServerMetrics() *serverMetrics {
 	m.vars.Set("cache_hits", m.hits)
 	m.vars.Set("cache_misses", m.misses)
 	m.vars.Set("dedup_shared", m.dedup)
+	m.vars.Set("cache_disk_hits", m.diskHits)
 	m.vars.Set("computations", m.computations)
 	m.vars.Set("inflight", m.inflight)
 	m.vars.Set("jobs_accepted", m.jobsAccepted)
@@ -181,7 +199,7 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		cache:   newLRUCache(cfg.CacheSize),
 		flight:  newFlightGroup(),
-		jobs:    newJobStore(ctx, cfg.SweepWorkers, cfg.SweepCellWorkers, cfg.QueueDepth, cfg.MaxJobs, so.queueDepth),
+		jobs:    newJobStore(ctx, cfg.SweepWorkers, cfg.SweepCellWorkers, cfg.QueueDepth, cfg.MaxJobs, so.queueDepth, cfg.RunSweep),
 		metrics: newServerMetrics(),
 		obs:     so,
 		sem:     make(chan struct{}, cfg.EstimateWorkers),
@@ -322,9 +340,11 @@ func decodeStrict(r *http.Request, base any) error {
 }
 
 // cached serves one cacheable endpoint: look the canonical key up in the
-// LRU, and on a miss run compute behind singleflight and the estimate
-// worker semaphore, caching the encoded body. Concurrent identical
-// requests share one computation; every path returns the same bytes.
+// LRU, then (when configured) in the persistent store, and on a full
+// miss run compute behind singleflight and the estimate worker
+// semaphore, caching the encoded body in both tiers. Concurrent
+// identical requests share one computation; every path returns the same
+// bytes.
 //
 // Cache-outcome counters (hits, misses, dedup and the per-route obs
 // series) are incremented only after the body write succeeds: a client
@@ -341,6 +361,10 @@ func (s *Server) cached(w http.ResponseWriter, r *http.Request, key string, comp
 		s.countServed(w, r, "hit", body)
 		return
 	}
+	if body, ok := s.diskGet(span, key); ok {
+		s.countServed(w, r, "disk", body)
+		return
+	}
 	// leaderState is written only inside fn, which Do runs on this
 	// goroutine when (and only when) shared comes back false.
 	leaderState := "miss"
@@ -352,6 +376,10 @@ func (s *Server) cached(w http.ResponseWriter, r *http.Request, key string, comp
 		// compute once" airtight.
 		if body, ok := s.cache.Get(key); ok {
 			leaderState = "hit"
+			return body, nil
+		}
+		if body, ok := s.diskGet(span, key); ok {
+			leaderState = "disk"
 			return body, nil
 		}
 		s.metrics.inflight.Add(1)
@@ -395,6 +423,11 @@ func (s *Server) cached(w http.ResponseWriter, r *http.Request, key string, comp
 		}
 		data = append(data, '\n')
 		s.cache.Add(key, data)
+		// Write-through to the persistent tier is best-effort (the
+		// store counts its own put errors) and never gates the response.
+		if s.cfg.Store != nil {
+			s.cfg.Store.Put(key, data) //nolint:errcheck
+		}
 		return data, nil
 	})
 	if err != nil {
@@ -423,8 +456,30 @@ func (s *Server) countServed(w http.ResponseWriter, r *http.Request, state strin
 		s.metrics.misses.Add(1)
 	case "dedup":
 		s.metrics.dedup.Add(1)
+	case "disk":
+		s.metrics.diskHits.Add(1)
 	}
 	s.obs.route(r.Pattern).cacheEvent(state)
+}
+
+// diskGet consults the persistent second-tier store and promotes a hit
+// into the LRU, so repeated requests stop paying the disk read. The
+// stored payload is exactly the bytes a leader computation cached, so
+// promotion preserves byte-identity across cache states. A corrupt or
+// missing record reads as a miss (the store's contract) and falls
+// through to recompute.
+func (s *Server) diskGet(span *obs.Span, key string) ([]byte, bool) {
+	if s.cfg.Store == nil {
+		return nil, false
+	}
+	read := span.Child("store.lookup")
+	body, ok := s.cfg.Store.Get(key)
+	read.End()
+	if !ok {
+		return nil, false
+	}
+	s.cache.Add(key, body)
+	return body, true
 }
 
 // writeCached writes a cacheable body with its X-Cache state, reporting
