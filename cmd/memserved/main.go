@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"memreliability/internal/cluster"
+	"memreliability/internal/core"
 	"memreliability/internal/serve"
 	"memreliability/internal/store"
 )
@@ -80,10 +81,15 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 	mode := fs.String("mode", "standalone", "process role: standalone | worker | coordinator")
 	clusterWorkers := fs.String("cluster-workers", "", "comma-separated worker base URLs (coordinator mode, e.g. http://h1:8081,http://h2:8081)")
 	storeDir := fs.String("store-dir", "", "persistent content-addressed result store directory (standalone and coordinator; empty = disabled)")
-	cellTimeout := fs.Duration("cell-timeout", 0, "coordinator per-cell dispatch timeout (0 = 60s)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "coordinator per-dispatch timeout (0 = 60s)")
 	cellRetries := fs.Int("cell-retries", 0, "coordinator per-cell failed-dispatch budget before the sweep fails (0 = 3)")
+	cellBatch := fs.Int("cell-batch", 0, "coordinator cells per worker dispatch; never affects artifacts (0 = 8)")
+	planCacheCap := fs.Int("plan-cache-cap", 0, "compiled trial-kernel plan cache entries (0 = 128)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *planCacheCap > 0 {
+		core.DefaultPlanCache().SetCap(*planCacheCap)
 	}
 
 	cfg := serve.Config{
@@ -117,6 +123,7 @@ func run(ctx context.Context, args []string, logw io.Writer) error {
 			Workers:     urls,
 			CellTimeout: *cellTimeout,
 			MaxRetries:  *cellRetries,
+			MaxBatch:    *cellBatch,
 		}
 		if *storeDir != "" {
 			st, err := store.Open(*storeDir)

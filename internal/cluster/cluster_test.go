@@ -77,32 +77,60 @@ func standaloneBytes(t *testing.T, spec sweep.Spec) []byte {
 }
 
 // TestDistributedMatchesStandalone is the cross-process worker-count-
-// invariance property: the same spec run standalone and distributed at
-// 1, 2, and 4 workers produces byte-identical artifacts.
+// invariance property, crossed with dispatch batching: the same spec
+// run standalone and distributed at 1, 2, and 4 workers, at batch
+// sizes 1, 3, and the default, produces byte-identical artifacts.
 func TestDistributedMatchesStandalone(t *testing.T) {
 	spec := testSpec()
 	want := standaloneBytes(t, spec)
 
 	for _, workers := range []int{1, 2, 4} {
-		urls, _ := startWorkers(t, workers)
-		coord, err := New(Config{Workers: urls})
-		if err != nil {
-			t.Fatal(err)
+		for _, maxBatch := range []int{1, 3, 0} { // 0 = default batching
+			urls, _ := startWorkers(t, workers)
+			coord, err := New(Config{Workers: urls, MaxBatch: maxBatch})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sunk atomic.Int64
+			art, err := coord.RunSweep(context.Background(), spec,
+				sweep.Options{Sink: func(sweep.CellResult) { sunk.Add(1) }})
+			if err != nil {
+				t.Fatalf("workers=%d batch=%d: %v", workers, maxBatch, err)
+			}
+			got := artifactBytes(t, art)
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d batch=%d: distributed artifact differs from standalone (%d vs %d bytes)",
+					workers, maxBatch, len(got), len(want))
+			}
+			if int(sunk.Load()) != len(art.Cells) {
+				t.Errorf("workers=%d batch=%d: sink saw %d cells, want %d",
+					workers, maxBatch, sunk.Load(), len(art.Cells))
+			}
 		}
-		var sunk atomic.Int64
-		art, err := coord.RunSweep(context.Background(), spec,
-			sweep.Options{Sink: func(sweep.CellResult) { sunk.Add(1) }})
-		if err != nil {
-			t.Fatalf("workers=%d: %v", workers, err)
-		}
-		got := artifactBytes(t, art)
-		if !bytes.Equal(got, want) {
-			t.Errorf("workers=%d: distributed artifact differs from standalone (%d vs %d bytes)",
-				workers, len(got), len(want))
-		}
-		if int(sunk.Load()) != len(art.Cells) {
-			t.Errorf("workers=%d: sink saw %d cells, want %d", workers, sunk.Load(), len(art.Cells))
-		}
+	}
+}
+
+// TestBatchDispatchCoalesces pins the batching win itself: a fleet of
+// one worker with a batch bound above the grid size must execute the
+// whole sweep in exactly one worker request, still byte-identical.
+func TestBatchDispatchCoalesces(t *testing.T) {
+	spec := testSpec()
+	want := standaloneBytes(t, spec)
+
+	urls, counters := startWorkers(t, 1)
+	coord, err := New(Config{Workers: urls, MaxBatch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := coord.RunSweep(context.Background(), spec, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := artifactBytes(t, art); !bytes.Equal(got, want) {
+		t.Error("batched artifact differs from standalone")
+	}
+	if n := counters[0].n.Load(); n != 1 {
+		t.Errorf("sweep of %d cells took %d worker requests, want 1", len(art.Cells), n)
 	}
 }
 
@@ -128,41 +156,47 @@ func (kw *killableWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	kw.h.ServeHTTP(w, r)
 }
 
-// TestWorkerKilledMidSweepRetries kills one worker after its first cell
-// and requires the surviving worker to absorb the orphaned cells with a
-// byte-identical artifact — the satellite's failure-path determinism.
+// TestWorkerKilledMidSweepRetries kills one worker after its first
+// request and requires the surviving worker to absorb the orphaned
+// cells with a byte-identical artifact — the failure-path determinism,
+// at unbatched and batched dispatch. With a batch the kill orphans a
+// whole in-flight batch at once, exercising the batch retry path.
 func TestWorkerKilledMidSweepRetries(t *testing.T) {
 	spec := testSpec()
 	want := standaloneBytes(t, spec)
 
-	kw := &killableWorker{h: NewWorker(WorkerConfig{Workers: 1})}
-	dying := httptest.NewServer(kw)
-	t.Cleanup(dying.Close)
-	survivorURLs, survivors := startWorkers(t, 1)
+	for _, maxBatch := range []int{1, 2} {
+		kw := &killableWorker{h: NewWorker(WorkerConfig{Workers: 1})}
+		dying := httptest.NewServer(kw)
+		t.Cleanup(dying.Close)
+		survivorURLs, survivors := startWorkers(t, 1)
 
-	coord, err := New(Config{
-		Workers:     []string{dying.URL, survivorURLs[0]},
-		CellTimeout: 30 * time.Second,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	retriesBefore := coord.wm[0].retries.Value()
-	art, err := coord.RunSweep(context.Background(), spec, sweep.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := artifactBytes(t, art); !bytes.Equal(got, want) {
-		t.Error("artifact after worker kill differs from standalone")
-	}
-	if kw.served.Load() < 2 {
-		t.Fatalf("dying worker saw %d requests; the kill never fired mid-sweep", kw.served.Load())
-	}
-	if survivors[0].n.Load() == 0 {
-		t.Error("survivor computed nothing; orphaned cells were not retried")
-	}
-	if coord.wm[0].retries.Value() <= retriesBefore {
-		t.Error("retry counter did not move for the killed worker")
+		coord, err := New(Config{
+			Workers:     []string{dying.URL, survivorURLs[0]},
+			CellTimeout: 30 * time.Second,
+			MaxBatch:    maxBatch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		retriesBefore := coord.wm[0].retries.Value()
+		art, err := coord.RunSweep(context.Background(), spec, sweep.Options{})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", maxBatch, err)
+		}
+		if got := artifactBytes(t, art); !bytes.Equal(got, want) {
+			t.Errorf("batch=%d: artifact after worker kill differs from standalone", maxBatch)
+		}
+		if kw.served.Load() < 2 {
+			t.Fatalf("batch=%d: dying worker saw %d requests; the kill never fired mid-sweep",
+				maxBatch, kw.served.Load())
+		}
+		if survivors[0].n.Load() == 0 {
+			t.Errorf("batch=%d: survivor computed nothing; orphaned cells were not retried", maxBatch)
+		}
+		if coord.wm[0].retries.Value() <= retriesBefore {
+			t.Errorf("batch=%d: retry counter did not move for the killed worker", maxBatch)
+		}
 	}
 }
 
@@ -319,6 +353,9 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Workers: []string{"http://x"}, MaxRetries: -1}); !errors.Is(err, ErrBadConfig) {
 		t.Errorf("negative retries: err = %v, want ErrBadConfig", err)
+	}
+	if _, err := New(Config{Workers: []string{"http://x"}, MaxBatch: -1}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative batch: err = %v, want ErrBadConfig", err)
 	}
 	coord, err := New(Config{Workers: []string{"http://x"}})
 	if err != nil {

@@ -42,13 +42,19 @@ type Config struct {
 	// fleet siblings reuse warm results instead of re-running
 	// estimators.
 	Store *store.Store
-	// CellTimeout bounds each dispatched cell's round trip; a cell that
-	// exceeds it counts as a worker failure and is retried on a
-	// survivor. 0 means 60s.
+	// CellTimeout bounds each dispatch round trip (the whole batch); a
+	// dispatch that exceeds it counts as a worker failure and its cells
+	// are retried on a survivor. 0 means 60s.
 	CellTimeout time.Duration
 	// MaxRetries bounds how many failed dispatch attempts one cell may
 	// accumulate (across workers) before the sweep fails. 0 means 3.
 	MaxRetries int
+	// MaxBatch bounds how many queued cells ride one worker dispatch.
+	// The wire format has carried batches since PR 7; batching amortizes
+	// the HTTP round trip and JSON framing over up to MaxBatch cells
+	// without affecting artifacts (results are deterministic per cell).
+	// 0 means 8.
+	MaxBatch int
 	// Client is the HTTP client used for dispatch; nil builds a
 	// dedicated client (per-request timeouts come from CellTimeout).
 	Client *http.Client
@@ -61,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 3
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
@@ -87,6 +96,9 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.CellTimeout < 0 || cfg.MaxRetries < 0 {
 		return nil, fmt.Errorf("%w: negative timeout or retry bound", ErrBadConfig)
+	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("%w: negative batch bound", ErrBadConfig)
 	}
 	cfg = cfg.withDefaults()
 	wm := make([]*workerMetrics, len(cfg.Workers))
@@ -149,10 +161,10 @@ func shardIndex(key string, n int) int {
 //  2. Serve every cell already in the content-addressed store without
 //     dispatch (cross-node, cross-restart dedup).
 //  3. Shard the remaining cells across workers by canonical cell key
-//     and dispatch them concurrently, one bounded-timeout request per
-//     cell. A failed worker is retired and its cells move to
-//     survivors, each failed attempt counting against the cell's
-//     bounded retry budget.
+//     and dispatch them concurrently, up to MaxBatch cells per
+//     bounded-timeout request. A failed worker is retired and its
+//     cells move to survivors, each failed attempt counting against
+//     every attempted cell's bounded retry budget.
 //  4. Write computed results through the store and merge all cells in
 //     canonical cell-index order.
 //
@@ -286,7 +298,8 @@ func (c *Coordinator) dispatchAll(ctx context.Context, pending []*task, cells []
 }
 
 // workerLoop drains worker w's shard queue until the sweep completes,
-// fails, or the worker is retired.
+// fails, or the worker is retired. Each iteration takes up to MaxBatch
+// queued cells and dispatches them as one request.
 func (c *Coordinator) workerLoop(ctx context.Context, st *dispatchState, w int, cells []sweep.Cell, results []sweep.CellResult, emit func(sweep.CellResult)) {
 	for {
 		st.mu.Lock()
@@ -297,46 +310,53 @@ func (c *Coordinator) workerLoop(ctx context.Context, st *dispatchState, w int, 
 			st.mu.Unlock()
 			return
 		}
-		t := st.queues[w][0]
-		st.queues[w] = st.queues[w][1:]
-		st.queued--
+		k := c.cfg.MaxBatch
+		if k > len(st.queues[w]) {
+			k = len(st.queues[w])
+		}
+		batch := st.queues[w][:k:k]
+		st.queues[w] = st.queues[w][k:]
+		st.queued -= k
 		queueDepthGauge.Set(float64(st.queued))
 		st.mu.Unlock()
 
-		res, err := c.dispatchCell(ctx, w, t)
+		res, err := c.dispatchBatch(ctx, w, batch)
 		if err != nil {
 			st.mu.Lock()
-			c.failTaskLocked(ctx, st, w, t, err)
+			c.failBatchLocked(ctx, st, w, batch, err)
 			st.mu.Unlock()
 			continue // the loop re-checks alive[w] and exits if retired
 		}
 
-		cellRes := sweep.CellResultOf(cells[t.idx], res)
 		st.mu.Lock()
-		results[t.idx] = cellRes
-		st.pend--
+		for bi, t := range batch {
+			results[t.idx] = sweep.CellResultOf(cells[t.idx], res[bi])
+		}
+		st.pend -= len(batch)
 		st.cond.Broadcast()
 		st.mu.Unlock()
 
 		// Write-through outside the lock; persistence is best-effort
 		// (the store counts its own put errors) and never gates the
 		// sweep.
-		if c.cfg.Store != nil {
-			if payload, err := json.Marshal(res); err == nil {
-				c.cfg.Store.Put(t.key, payload) //nolint:errcheck // best-effort tier
+		for bi, t := range batch {
+			if c.cfg.Store != nil {
+				if payload, err := json.Marshal(res[bi]); err == nil {
+					c.cfg.Store.Put(t.key, payload) //nolint:errcheck // best-effort tier
+				}
 			}
+			emit(results[t.idx])
 		}
-		emit(cellRes)
 	}
 }
 
-// failTaskLocked handles one dispatch failure; the state mutex must be
+// failBatchLocked handles one dispatch failure; the state mutex must be
 // held. Cancellation and permanent rejections fail the sweep; any
-// other failure retires worker w and moves its cells — the failed one
-// and everything still queued on it — to surviving workers. The failed
-// cell's attempt count is bounded by MaxRetries; queued cells move
-// without charge (they were never attempted).
-func (c *Coordinator) failTaskLocked(ctx context.Context, st *dispatchState, w int, t *task, err error) {
+// other failure retires worker w and moves its cells — the attempted
+// batch and everything still queued on it — to surviving workers. Each
+// attempted cell's attempt count is bounded by MaxRetries; queued
+// cells move without charge (they were never attempted).
+func (c *Coordinator) failBatchLocked(ctx context.Context, st *dispatchState, w int, batch []*task, err error) {
 	if ctx.Err() != nil {
 		st.failLocked(ctx.Err())
 		return
@@ -345,28 +365,30 @@ func (c *Coordinator) failTaskLocked(ctx context.Context, st *dispatchState, w i
 		st.failLocked(err)
 		return
 	}
-	c.wm[w].retries.Inc()
-	t.attempts++
-	if t.attempts > c.cfg.MaxRetries {
-		st.failLocked(fmt.Errorf("cluster: cell %d failed %d times, retry budget exhausted: %w",
-			t.idx, t.attempts, err))
-		return
+	c.wm[w].retries.Add(int64(len(batch)))
+	for _, t := range batch {
+		t.attempts++
+		if t.attempts > c.cfg.MaxRetries {
+			st.failLocked(fmt.Errorf("cluster: cell %d failed %d times, retry budget exhausted: %w",
+				t.idx, t.attempts, err))
+			return
+		}
 	}
 	if st.alive[w] {
 		st.alive[w] = false
 		st.aliveN--
 	}
 	if st.aliveN == 0 {
-		st.failLocked(fmt.Errorf("%w: cell %d: %v", ErrNoWorkers, t.idx, err))
+		st.failLocked(fmt.Errorf("%w: cell %d: %v", ErrNoWorkers, batch[0].idx, err))
 		return
 	}
-	orphans := append([]*task{t}, st.queues[w]...)
+	orphans := append(append([]*task(nil), batch...), st.queues[w]...)
 	st.queues[w] = nil
 	for _, o := range orphans {
 		tgt := c.nextAliveLocked(st, o.key)
 		st.queues[tgt] = append(st.queues[tgt], o)
 	}
-	st.queued++ // the failed task re-enters a queue; the others never left
+	st.queued += len(batch) // the batch re-enters queues; the others never left
 	queueDepthGauge.Set(float64(st.queued))
 	st.cond.Broadcast()
 }
@@ -386,54 +408,72 @@ func (c *Coordinator) nextAliveLocked(st *dispatchState, key string) int {
 	return home // unreachable: callers guarantee aliveN > 0
 }
 
-// dispatchCell sends one cell to worker w and decodes its result,
-// bounded by the per-cell timeout.
-func (c *Coordinator) dispatchCell(ctx context.Context, w int, t *task) (estimator.Result, error) {
+// dispatchBatch sends one batch of cells to worker w and decodes the
+// per-cell results in batch order, bounded by the dispatch timeout.
+func (c *Coordinator) dispatchBatch(ctx context.Context, w int, batch []*task) ([]estimator.Result, error) {
 	m := c.wm[w]
-	m.dispatch.Inc()
+	m.dispatch.Add(int64(len(batch)))
 	start := time.Now()
-	res, err := c.postCell(ctx, c.cfg.Workers[w], t)
+	res, err := c.postCells(ctx, c.cfg.Workers[w], batch)
 	m.latency.Observe(time.Since(start).Seconds())
 	return res, err
 }
 
-// postCell performs the HTTP round trip for one cell.
-func (c *Coordinator) postCell(ctx context.Context, workerURL string, t *task) (estimator.Result, error) {
-	body, err := json.Marshal(cellsRequest{Cells: []cellTask{{Index: t.idx, Query: t.query, Seed: t.seed}}})
+// postCells performs the HTTP round trip for one batch of cells. The
+// returned slice is aligned with batch: workers echo grid indices, so
+// responses are matched by index, not ordering.
+func (c *Coordinator) postCells(ctx context.Context, workerURL string, batch []*task) ([]estimator.Result, error) {
+	wire := cellsRequest{Cells: make([]cellTask, len(batch))}
+	for i, t := range batch {
+		wire.Cells[i] = cellTask{Index: t.idx, Query: t.query, Seed: t.seed}
+	}
+	body, err := json.Marshal(wire)
 	if err != nil {
-		return estimator.Result{}, fmt.Errorf("%w: encode cell %d: %v", errPermanent, t.idx, err)
+		return nil, fmt.Errorf("%w: encode cell %d: %v", errPermanent, batch[0].idx, err)
 	}
 	reqCtx, cancel := context.WithTimeout(ctx, c.cfg.CellTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, workerURL+"/v1/cells", bytes.NewReader(body))
 	if err != nil {
-		return estimator.Result{}, fmt.Errorf("%w: cell %d: %v", errPermanent, t.idx, err)
+		return nil, fmt.Errorf("%w: cell %d: %v", errPermanent, batch[0].idx, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.cfg.Client.Do(req)
 	if err != nil {
-		return estimator.Result{}, fmt.Errorf("cluster: cell %d: %w", t.idx, err)
+		return nil, fmt.Errorf("cluster: cell %d: %w", batch[0].idx, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
-		return estimator.Result{}, fmt.Errorf("cluster: cell %d: %w", t.idx, err)
+		return nil, fmt.Errorf("cluster: cell %d: %w", batch[0].idx, err)
 	}
 	switch {
 	case resp.StatusCode == http.StatusOK:
 	case resp.StatusCode == http.StatusBadRequest:
 		// The worker validated with the canonical rules; every other
 		// worker would reject identically, so retrying is pointless.
-		return estimator.Result{}, fmt.Errorf("%w: cell %d: worker says %s", errPermanent, t.idx, strings.TrimSpace(string(data)))
+		return nil, fmt.Errorf("%w: cell %d: worker says %s", errPermanent, batch[0].idx, strings.TrimSpace(string(data)))
 	default:
-		return estimator.Result{}, fmt.Errorf("cluster: cell %d: worker status %d: %s", t.idx, resp.StatusCode, strings.TrimSpace(string(data)))
+		return nil, fmt.Errorf("cluster: cell %d: worker status %d: %s", batch[0].idx, resp.StatusCode, strings.TrimSpace(string(data)))
 	}
 	var out cellsResponse
 	if err := json.Unmarshal(data, &out); err != nil {
-		return estimator.Result{}, fmt.Errorf("cluster: cell %d: decode response: %w", t.idx, err)
+		return nil, fmt.Errorf("cluster: cell %d: decode response: %w", batch[0].idx, err)
 	}
-	if len(out.Results) != 1 || out.Results[0].Index != t.idx {
-		return estimator.Result{}, fmt.Errorf("cluster: cell %d: malformed response (%d results)", t.idx, len(out.Results))
+	if len(out.Results) != len(batch) {
+		return nil, fmt.Errorf("cluster: batch of %d cells: malformed response (%d results)", len(batch), len(out.Results))
 	}
-	return out.Results[0].Result, nil
+	byIdx := make(map[int]int, len(out.Results))
+	for i, r := range out.Results {
+		byIdx[r.Index] = i
+	}
+	results := make([]estimator.Result, len(batch))
+	for i, t := range batch {
+		j, ok := byIdx[t.idx]
+		if !ok {
+			return nil, fmt.Errorf("cluster: cell %d: missing from batch response", t.idx)
+		}
+		results[i] = out.Results[j].Result
+	}
+	return results, nil
 }

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"memreliability/internal/mc"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+// BenchmarkCompiledFillBits measures the compiled engine's steady-state
+// chunk loop on the canonical fixed-mc shape (TSO, n=2, m=24).
+func BenchmarkCompiledFillBits(b *testing.B) {
+	cfg := DefaultConfig(memmodel.TSO(), 2)
+	cfg.PrefixLen = 24
+	ir, err := cfg.BuildIR()
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := ir.Compile()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	const trials = 8192
+	words := make([]uint64, mc.BitWords(trials))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prog.FillBits(src, words, trials); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelFillBits is the reference engine on the same shape.
+func BenchmarkKernelFillBits(b *testing.B) {
+	cfg := DefaultConfig(memmodel.TSO(), 2)
+	cfg.PrefixLen = 24
+	k, err := cfg.NewKernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(1)
+	const trials = 8192
+	words := make([]uint64, mc.BitWords(trials))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := k.FillBits(src, words, trials); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

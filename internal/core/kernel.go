@@ -1,11 +1,9 @@
 package core
 
 import (
-	"fmt"
 	"math"
 	"time"
 
-	"memreliability/internal/dist"
 	"memreliability/internal/mc"
 	"memreliability/internal/memmodel"
 	"memreliability/internal/rng"
@@ -99,37 +97,15 @@ func drawThreshold(p float64) uint64 {
 }
 
 // NewKernel validates the configuration and builds a kernel for it,
-// precomputing the swap-decision threshold table.
+// lowering the config to the kernel IR (BuildIR) and instantiating the
+// table-driven engine over it.
 func (c Config) NewKernel() (*Kernel, error) {
 	start := time.Now()
-	if err := c.Validate(); err != nil {
+	ir, err := c.BuildIR()
+	if err != nil {
 		return nil, err
 	}
-	sp, err := memmodel.Uniform(c.SwapProb)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	k := &Kernel{
-		threads:  c.Threads,
-		storeThr: drawThreshold(c.StoreProb),
-		shiftThr: drawThreshold(dist.StandardShift().P),
-		typ:      make([]uint8, c.PrefixLen),
-		order:    make([]uint8, c.PrefixLen),
-		segments: make([]int, c.Threads),
-		shifts:   make([]int, c.Threads),
-	}
-	for p := 0; p < 4; p++ {
-		for m := 0; m < 4; m++ {
-			if p >= 2 && m >= 2 {
-				// Both critical: same location, swap automatically fails
-				// (footnote 2 — the critical ST never passes the critical LD).
-				continue
-			}
-			if c.Model.Relaxed(kindType[p], kindType[m]) {
-				k.swapThr[p][m] = drawThreshold(sp.For(kindType[p], kindType[m]))
-			}
-		}
-	}
+	k := ir.NewKernel()
 	coreKernelsBuilt.Inc()
 	coreKernelBuildSeconds.Observe(time.Since(start).Seconds())
 	return k, nil

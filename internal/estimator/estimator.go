@@ -54,6 +54,11 @@ const (
 	// WindowDist tabulates the exact critical-window distribution
 	// Pr[B_γ] (Theorem 4.1 at finite m); it is thread-count independent.
 	WindowDist Kind = "windowdist"
+	// CompiledMC is full Monte Carlo on the query-compiled kernel
+	// engine (core's plan cache of monomorphized trial kernels) —
+	// bit-identical to FullMC by the cross-engine promotion gate,
+	// faster per trial.
+	CompiledMC Kind = "mc-compiled"
 )
 
 // Valid reports whether k resolves in the estimator registry.
@@ -348,7 +353,7 @@ func (r Result) Notes() string {
 		switch r.Kind {
 		case Exact:
 			notes = append(notes, report.FormatInterval(r.Lo, r.Hi))
-		case FullMC:
+		case FullMC, CompiledMC:
 			level := r.Confidence
 			if level == 0 {
 				level = DefaultConfidence

@@ -333,3 +333,34 @@ func TestDeriveSeedsIsStable(t *testing.T) {
 		t.Errorf("DeriveSeeds(42, 2) = %v is not a prefix of %v", p, a)
 	}
 }
+
+// TestCompiledMCMatchesFullMC is the query-level differential gate: the
+// same query under mc and mc-compiled must produce bit-identical results
+// (seed derivation is kind-independent and the engines are draw-for-draw
+// identical), for both fixed-trials and adaptive-precision modes.
+func TestCompiledMCMatchesFullMC(t *testing.T) {
+	base := estimator.DefaultQuery()
+	base.Model = "tso"
+	base.PrefixLen = 16
+	base.Trials = 4096
+	adaptive := base
+	adaptive.Precision = &estimator.Precision{TargetHalfWidth: 0.02, MaxTrials: 1 << 15}
+	for name, q := range map[string]estimator.Query{"fixed": base, "adaptive": adaptive} {
+		mcQ, compiledQ := q, q
+		mcQ.Kind = estimator.FullMC
+		compiledQ.Kind = estimator.CompiledMC
+		ref, err := estimator.Estimate(context.Background(), mcQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := estimator.Estimate(context.Background(), compiledQ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Everything but the kind label must match exactly.
+		ref.Kind = estimator.CompiledMC
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("%s: mc-compiled diverged from mc:\n got %+v\nwant %+v", name, got, ref)
+		}
+	}
+}

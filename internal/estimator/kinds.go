@@ -17,6 +17,7 @@ func init() {
 	Register(fullMCEstimator{})
 	Register(hybridEstimator{})
 	Register(windowDistEstimator{})
+	Register(compiledMCEstimator{})
 }
 
 // coreConfig translates the query into the joined-model configuration.
@@ -123,6 +124,53 @@ func (fullMCEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Ex
 		res.StopReason = string(adaptive.StopReason)
 	} else {
 		out, err = core.EstimateNoBugProb(ctx, cfg, mcConfig(q, seed, ex))
+		if err != nil {
+			return res, fmt.Errorf("estimator: %w", err)
+		}
+		res.TrialsUsed = q.Trials
+	}
+	level := q.confidence()
+	lo, hi, err := out.WilsonCI(level)
+	if err != nil {
+		return res, fmt.Errorf("estimator: %w", err)
+	}
+	res.Estimate = out.Estimate()
+	res.Lo, res.Hi = lo, hi
+	res.Confidence = level
+	res.LogEstimate = safeLog(res.Estimate)
+	return res, nil
+}
+
+// compiledMCEstimator is full Monte Carlo on the compiler engine: the
+// query is lowered through core's plan cache into a monomorphized,
+// bulk-RNG trial kernel. Seed derivation is kind-independent, so an
+// mc-compiled query is bit-identical to the same query under mc — the
+// cross-engine property tests and the differential smoke job gate on
+// exactly that.
+type compiledMCEstimator struct{}
+
+func (compiledMCEstimator) Kind() Kind          { return CompiledMC }
+func (compiledMCEstimator) DisplayName() string { return "full Monte Carlo (compiled kernel)" }
+func (compiledMCEstimator) NeedsTrials() bool   { return true }
+
+func (compiledMCEstimator) Estimate(ctx context.Context, q Query, seed uint64, ex Exec) (Result, error) {
+	res := Result{Kind: CompiledMC, EffectiveM: q.PrefixLen}
+	cfg, err := coreConfig(q)
+	if err != nil {
+		return res, err
+	}
+	var out *mc.Result
+	if q.Precision != nil {
+		adaptive, err := core.EstimateNoBugProbCompiledAdaptive(ctx, cfg, adaptiveConfig(q, seed, ex))
+		if err != nil {
+			return res, fmt.Errorf("estimator: %w", err)
+		}
+		out = &adaptive.Result
+		res.TrialsUsed = adaptive.TrialsUsed()
+		res.Rounds = adaptive.Rounds
+		res.StopReason = string(adaptive.StopReason)
+	} else {
+		out, err = core.EstimateNoBugProbCompiled(ctx, cfg, mcConfig(q, seed, ex))
 		if err != nil {
 			return res, fmt.Errorf("estimator: %w", err)
 		}

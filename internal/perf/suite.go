@@ -129,6 +129,12 @@ func Suite() []Scenario {
 			Bench:       benchEstimate(query(estimator.FullMC, "TSO", 2, 24, 16384, 1)),
 		},
 		{
+			ID:          "fixed-mc-compiled/tso-n2-m24-16k",
+			Description: "fixed-trials full Monte Carlo through the registry on the compiled kernel engine, TSO, n=2, m=24, 16384 trials",
+			Trials:      16384,
+			Bench:       benchEstimate(query(estimator.CompiledMC, "TSO", 2, 24, 16384, 1)),
+		},
+		{
 			ID:          "adaptive-mc/tso-n2-m24-hw0.01",
 			Description: "adaptive-precision full Monte Carlo to a ±0.01 Wilson half-width, TSO, n=2, m=24, budget 65536",
 			Bench: func() func(b *testing.B) {
@@ -238,6 +244,50 @@ func Suite() []Scenario {
 						b.Fatal(err)
 					}
 					sink += mc.OnesCount(words)
+				}
+			},
+		},
+		{
+			ID:          "compiled-kernel/chunk-8k",
+			Description: "steady-state compiled-engine chunk: one cached compiled Program fills one 8192-trial word buffer, TSO, n=2, m=24",
+			Trials:      chunkTrials,
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				cfg := core.DefaultConfig(memmodel.TSO(), 2)
+				cfg.PrefixLen = 24
+				prog, err := core.DefaultPlanCache().Lookup(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				src := rng.New(1)
+				words := make([]uint64, mc.BitWords(chunkTrials))
+				// Warm the Program's scratch pool so the measured loop is
+				// pure steady state, as in the harness's chunk loop.
+				if err := prog.FillBits(src, words, chunkTrials); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := prog.FillBits(src, words, chunkTrials); err != nil {
+						b.Fatal(err)
+					}
+					sink += mc.OnesCount(words)
+				}
+			},
+		},
+		{
+			ID:          "rng-bulkfill/8k",
+			Description: "bulk xoshiro fill: one FillUint64s call over an 8192-word buffer (the compiled engine's draw source)",
+			ZeroAlloc:   true,
+			Bench: func(b *testing.B) {
+				b.ReportAllocs()
+				src := rng.New(1)
+				buf := make([]uint64, chunkTrials)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					src.FillUint64s(buf)
+					sink += int(buf[len(buf)-1] & 1)
 				}
 			},
 		},

@@ -221,3 +221,60 @@ func BenchmarkIntn(b *testing.B) {
 		_ = r.Intn(1000)
 	}
 }
+
+// TestFillUint64sStreamIdentical is the bulk-fill contract: any sequence
+// of FillUint64s calls (including empty and odd-length buffers) yields
+// exactly the words — and exactly the final state — that the same number
+// of sequential Uint64 calls would. Both kernel engines draw through
+// this property, so it is what keeps the compiled-vs-reference oracle
+// comparison fair by construction.
+func TestFillUint64sStreamIdentical(t *testing.T) {
+	if err := quick.Check(func(seed uint64, sizes []uint8) bool {
+		bulk, seq := New(seed), New(seed)
+		for _, sz := range sizes {
+			buf := make([]uint64, int(sz)%97)
+			bulk.FillUint64s(buf)
+			for i, w := range buf {
+				if want := seq.Uint64(); w != want {
+					t.Logf("word %d: bulk %d != sequential %d", i, w, want)
+					return false
+				}
+			}
+		}
+		return bulk.State() == seq.State()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFillFloat64sStreamIdentical pins the float path to sequential
+// Float64 calls the same way.
+func TestFillFloat64sStreamIdentical(t *testing.T) {
+	bulk, seq := New(99), New(99)
+	for _, size := range []int{0, 1, 7, 64, 1000} {
+		buf := make([]float64, size)
+		bulk.FillFloat64s(buf)
+		for i, v := range buf {
+			if want := seq.Float64(); v != want {
+				t.Fatalf("size %d, variate %d: bulk %v != sequential %v", size, i, v, want)
+			}
+		}
+	}
+	if bulk.State() != seq.State() {
+		t.Error("bulk and sequential float streams diverged in state")
+	}
+}
+
+// TestFillUint64sZeroAlloc pins the bulk fill as allocation-free — the
+// guarantee the rng-bulkfill perf scenario gates.
+func TestFillUint64sZeroAlloc(t *testing.T) {
+	src := New(3)
+	buf := make([]uint64, 4096)
+	if avg := testing.AllocsPerRun(10, func() { src.FillUint64s(buf) }); avg != 0 {
+		t.Errorf("FillUint64s allocates %.1f per call, want 0", avg)
+	}
+	fbuf := make([]float64, 4096)
+	if avg := testing.AllocsPerRun(10, func() { src.FillFloat64s(fbuf) }); avg != 0 {
+		t.Errorf("FillFloat64s allocates %.1f per call, want 0", avg)
+	}
+}

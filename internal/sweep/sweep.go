@@ -59,6 +59,9 @@ const (
 	// WindowDist tabulates the exact critical-window distribution
 	// Pr[B_γ] (Theorem 4.1 at finite m); it is thread-count independent.
 	WindowDist = estimator.WindowDist
+	// CompiledMC is full Monte Carlo on the query-compiled kernel
+	// engine, bit-identical to FullMC.
+	CompiledMC = estimator.CompiledMC
 )
 
 // Kinds lists every registered estimator kind, in canonical order.

@@ -215,6 +215,10 @@ const (
 	SweepFullMC     = sweep.FullMC
 	SweepHybrid     = sweep.Hybrid
 	SweepWindowDist = sweep.WindowDist
+	// SweepCompiledMC is full Monte Carlo on the query-compiled kernel
+	// engine — bit-identical to SweepFullMC on the same query, faster
+	// per trial.
+	SweepCompiledMC = sweep.CompiledMC
 )
 
 // SweepArtifact is the versioned, reproducible result of a sweep run.
