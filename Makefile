@@ -8,7 +8,7 @@ GO ?= go
 # Pinned staticcheck (2025.1.1); CI installs exactly this version.
 STATICCHECK_VERSION ?= v0.6.1
 
-.PHONY: all build test bench bench-adaptive bench-bits bench-compare staticcheck staticcheck-install lint smoke-serve smoke-cluster smoke-differential vuln ci
+.PHONY: all build test bench bench-adaptive bench-bits bench-compare staticcheck staticcheck-install lint smoke-serve smoke-cluster smoke-differential fuzz-smoke vuln ci
 
 all: ci
 
@@ -82,6 +82,14 @@ smoke-cluster:
 smoke-differential:
 	$(GO) run ./cmd/memdiff -duration 10s -seed 1
 
+# fuzz-smoke replays the committed fuzz corpora under plain `go test`,
+# then runs each native fuzz target (FuzzParseLitmus,
+# FuzzDifferentialEstimate) for a bounded FUZZTIME (default 30s each).
+# Crashers land in the packages' testdata/fuzz/ directories; CI uploads
+# them as artifacts on failure.
+fuzz-smoke:
+	./scripts/fuzz_smoke.sh
+
 # vuln scans the module with govulncheck when the tool is available
 # (CI installs it; offline dev machines skip with a notice).
 vuln:
@@ -91,4 +99,4 @@ vuln:
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: lint staticcheck build test bench bench-adaptive bench-bits bench-compare smoke-serve smoke-cluster smoke-differential vuln
+ci: lint staticcheck build test bench bench-adaptive bench-bits bench-compare smoke-serve smoke-cluster smoke-differential fuzz-smoke vuln

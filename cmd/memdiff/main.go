@@ -1,19 +1,23 @@
-// memdiff is the bounded-time seeded differential smoke harness: the
-// first step toward the ROADMAP's differential fuzz harness. It draws
-// randomized queries from a seeded generator and cross-checks three
-// independent routes to the same answer:
+// memdiff is the randomized differential sweep: it draws seeded
+// scenarios from internal/scenariogen and cross-checks every
+// independent estimation route through internal/diffcheck — the same
+// harness behind the FuzzDifferentialEstimate fuzz target, so any
+// divergence replays in either direction.
 //
-//   - mc          — the table-driven reference kernel (bitset engine)
-//   - mc-compiled — the query-compiled kernel engine (plan cache)
-//   - the closure adapter — core's []bool NoBugBatch route, the
-//     deliberately simple oracle the bitset engines are property-tested
-//     against
+// Per scenario, every applicable check runs:
 //
-// Estimator seed derivation is kind-independent, so all three must be
-// bit-identical on every query — any divergence is a bug, reported with
-// the full query as a repro and a non-zero exit. A subset of queries
-// also runs the adaptive-precision path, pinning round boundaries,
-// trials consumed, and stop reasons across engines.
+//   - mc vs mc-compiled vs the []bool closure adapter, bit-identical
+//     (fixed-trials and adaptive-precision paths);
+//   - the independent exact enumerations against each other and, for
+//     n=2, against the settling-DP interval;
+//   - exact Pr[A] inside the Monte Carlo route's extreme-confidence
+//     Wilson interval;
+//   - the exact window distribution against the paper's closed-form
+//     bounds at the normal form.
+//
+// Interleaved with the query sweep, random relax-matrix models cover
+// the whole 16-point model lattice at the core layer — the registry's
+// named models are only 6 of its points.
 //
 // Usage:
 //
@@ -29,14 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"reflect"
 	"time"
 
 	"memreliability/internal/core"
+	"memreliability/internal/diffcheck"
 	"memreliability/internal/estimator"
-	"memreliability/internal/mc"
-	"memreliability/internal/memmodel"
-	"memreliability/internal/rng"
+	"memreliability/internal/scenariogen"
 )
 
 func main() {
@@ -49,104 +51,53 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("memdiff", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 1, "generator seed; the whole run is deterministic in it")
-	duration := fs.Duration("duration", 5*time.Second, "time budget; the harness stops drawing queries when it is spent")
-	queries := fs.Int("queries", 0, "query cap (0 = unlimited within the time budget)")
+	duration := fs.Duration("duration", 5*time.Second, "time budget; the harness stops drawing scenarios when it is spent")
+	queries := fs.Int("queries", 0, "scenario cap (0 = unlimited within the time budget)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	ctx := context.Background()
-	gen := rng.New(*seed)
+	gen := scenariogen.New(*seed)
+	params := scenariogen.QueryParams{
+		Kinds:      []estimator.Kind{estimator.FullMC, estimator.CompiledMC},
+		MaxThreads: 4,
+		MaxPrefix:  24,
+		MaxTrials:  4096,
+	}
 	deadline := time.Now().Add(*duration)
-	checked, adaptives := 0, 0
+	checked, adaptives, exacts := 0, 0, 0
 	for time.Now().Before(deadline) && (*queries == 0 || checked < *queries) {
-		q := randomQuery(gen)
-		adaptive := checked%4 == 3
-		if adaptive {
+		q := gen.Query(params)
+		if checked%4 == 3 {
 			q.Precision = &estimator.Precision{TargetHalfWidth: 0.02, MaxTrials: 1 << 14}
 			adaptives++
 		}
-		if err := checkQuery(ctx, q, adaptive); err != nil {
-			return fmt.Errorf("query #%d (replay: -seed %d -queries %d): %w\nrepro query: %+v",
+		if diffcheck.ExactFeasible(q.Threads, q.PrefixLen) {
+			exacts++
+		}
+		if err := diffcheck.Check(ctx, q); err != nil {
+			return fmt.Errorf("scenario #%d (replay: -seed %d -queries %d): %w\nrepro query: %+v",
 				checked, *seed, checked+1, err, q)
+		}
+		// Every 8th scenario, a random point of the 16-model relax
+		// lattice at the core layer (custom, unregistered model).
+		if checked%8 == 7 {
+			cfg := core.Config{
+				Model:     gen.Model(),
+				Threads:   2 + checked%3,
+				PrefixLen: 3 + checked%6,
+				StoreProb: gen.Prob(),
+				SwapProb:  gen.Prob(),
+			}
+			if _, err := diffcheck.CheckExactRoutes(cfg); err != nil {
+				return fmt.Errorf("scenario #%d (model lattice, replay: -seed %d -queries %d): %w",
+					checked, *seed, checked+1, err)
+			}
 		}
 		checked++
 	}
-	fmt.Printf("memdiff: %d queries cross-checked (%d adaptive), engines bit-identical (seed %d)\n",
-		checked, adaptives, *seed)
-	return nil
-}
-
-// randomQuery draws one mc-shaped query covering the specialization
-// lattice: every model, small thread counts, short-to-full prefixes,
-// and probabilities that hit the draw-free p, s ∈ {0, 1} edges often.
-func randomQuery(gen *rng.Source) estimator.Query {
-	q := estimator.DefaultQuery()
-	q.Kind = estimator.FullMC
-	models := memmodel.All()
-	q.Model = models[gen.Intn(len(models))].Name()
-	q.Threads = 2 + gen.Intn(3)
-	q.PrefixLen = 1 + gen.Intn(24)
-	q.StoreProb = randomProb(gen)
-	q.SwapProb = randomProb(gen)
-	q.Trials = 1 + gen.Intn(4096)
-	q.Seed = gen.Uint64()
-	return q
-}
-
-// randomProb mixes interior draws with the compile-time edges.
-func randomProb(gen *rng.Source) float64 {
-	switch gen.Intn(4) {
-	case 0:
-		return 0
-	case 1:
-		return 1
-	default:
-		return gen.Float64()
-	}
-}
-
-// checkQuery runs the query through the two estimator kinds (and, on
-// fixed-trials queries, the closure adapter) and requires bit-identical
-// results.
-func checkQuery(ctx context.Context, q estimator.Query, adaptive bool) error {
-	q.Kind = estimator.FullMC
-	ref, err := estimator.Estimate(ctx, q)
-	if err != nil {
-		return fmt.Errorf("mc: %w", err)
-	}
-	q.Kind = estimator.CompiledMC
-	compiled, err := estimator.Estimate(ctx, q)
-	if err != nil {
-		return fmt.Errorf("mc-compiled: %w", err)
-	}
-	ref.Kind = estimator.CompiledMC // the only field allowed to differ
-	if !reflect.DeepEqual(ref, compiled) {
-		return fmt.Errorf("mc-compiled diverged from mc:\n  mc:          %+v\n  mc-compiled: %+v", ref, compiled)
-	}
-	if adaptive {
-		return nil // the closure adapter has no adaptive entry point
-	}
-
-	// Closure adapter: the []bool oracle on the same derived substream.
-	model, err := memmodel.ByName(q.Model)
-	if err != nil {
-		return err
-	}
-	cfg := core.Config{Model: model, Threads: q.Threads, PrefixLen: q.PrefixLen,
-		StoreProb: q.StoreProb, SwapProb: q.SwapProb}
-	batch, err := cfg.NoBugBatch()
-	if err != nil {
-		return err
-	}
-	norm := q.Normalized()
-	sub := estimator.DeriveSeeds(norm.Seed, 1)[0]
-	out, err := mc.EstimateProbabilityBatch(ctx, mc.Config{Trials: q.Trials, Seed: sub}, batch)
-	if err != nil {
-		return fmt.Errorf("closure adapter: %w", err)
-	}
-	if out.Estimate() != ref.Estimate {
-		return fmt.Errorf("closure adapter diverged: adapter %v, engines %v", out.Estimate(), ref.Estimate)
-	}
+	fmt.Printf("memdiff: %d scenarios cross-checked (%d adaptive, %d exact-route), all routes agree (seed %d)\n",
+		checked, adaptives, exacts, *seed)
 	return nil
 }

@@ -1,0 +1,113 @@
+package diffcheck
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"memreliability/internal/core"
+	"memreliability/internal/estimator"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/scenariogen"
+)
+
+// TestCheckGeneratedQueries is the harness's own smoke: a few hundred
+// generated scenarios across every kind and registered model must agree
+// on every route.
+func TestCheckGeneratedQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep")
+	}
+	ctx := context.Background()
+	g := scenariogen.New(1)
+	p := scenariogen.QueryParams{MaxThreads: 3, MaxPrefix: 8, MaxTrials: 512}
+	for i := 0; i < 200; i++ {
+		q := g.Query(p)
+		if err := Check(ctx, q); err != nil {
+			t.Fatalf("scenario %d diverged: %v\nrepro query: %+v", i, err, q)
+		}
+	}
+}
+
+// TestCheckExactRoutesCustomModels covers the full 16-point relax-
+// matrix lattice with unregistered generated models — the named models
+// are only 6 of its points.
+func TestCheckExactRoutesCustomModels(t *testing.T) {
+	g := scenariogen.New(2)
+	for i := 0; i < 40; i++ {
+		cfg := core.Config{
+			Model:     g.Model(),
+			Threads:   2 + i%2,
+			PrefixLen: 3 + i%4,
+			StoreProb: g.Prob(),
+			SwapProb:  g.Prob(),
+		}
+		if _, err := CheckExactRoutes(cfg); err != nil {
+			t.Fatalf("model %s (n=%d, m=%d, p=%v, s=%v): %v",
+				cfg.Model.Name(), cfg.Threads, cfg.PrefixLen, cfg.StoreProb, cfg.SwapProb, err)
+		}
+	}
+}
+
+func TestCheckEnginesAdaptive(t *testing.T) {
+	q := estimator.DefaultQuery()
+	q.Kind = estimator.FullMC
+	q.Model = "RMO"
+	q.PrefixLen = 8
+	q.Trials = 512
+	q.Precision = &estimator.Precision{TargetHalfWidth: 0.05, MaxTrials: 1 << 12}
+	if err := CheckEngines(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckWindowDistAllModels runs the window-distribution sanity (and
+// the SC/TSO/WO analytic bounds) for every registered model, variants
+// included.
+func TestCheckWindowDistAllModels(t *testing.T) {
+	for _, m := range memmodel.Registered() {
+		if err := CheckWindowDist(m, 12, 6); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+// TestCheckExactVsMCDetectsBias is the negative control: feeding a
+// wrong "exact" value must trip the containment check — otherwise the
+// harness could never catch a biased estimator.
+func TestCheckExactVsMCDetectsBias(t *testing.T) {
+	q := estimator.DefaultQuery()
+	q.Kind = estimator.FullMC
+	q.Model = "TSO"
+	q.Threads = 2
+	q.PrefixLen = 8
+	q.Trials = 4096
+	exact, err := CheckExactRoutes(core.Config{Model: memmodel.TSO(), Threads: 2, PrefixLen: 8,
+		StoreProb: 0.5, SwapProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.StoreProb, q.SwapProb = 0.5, 0.5
+	if err := CheckExactVsMC(context.Background(), q, exact); err != nil {
+		t.Fatalf("true exact value flagged: %v", err)
+	}
+	err = CheckExactVsMC(context.Background(), q, exact+0.2)
+	if err == nil || !strings.Contains(err.Error(), "containment") {
+		t.Fatalf("biased exact value not flagged: %v", err)
+	}
+}
+
+func TestExactFeasible(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want bool
+	}{
+		{2, 10, true}, {2, 12, false}, {3, 8, true}, {3, 10, false},
+		{4, 6, true}, {4, 8, false}, {5, 4, false}, {2, 13, false}, {1, 4, false},
+	}
+	for _, tc := range cases {
+		if got := ExactFeasible(tc.n, tc.m); got != tc.want {
+			t.Errorf("ExactFeasible(%d, %d) = %v, want %v", tc.n, tc.m, got, tc.want)
+		}
+	}
+}

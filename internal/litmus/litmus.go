@@ -103,6 +103,7 @@ func Registry() []Test {
 			Target: Condition{"t0:r1": 0, "t1:r2": 0},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": true, "PSO": true, "WO": true,
+				"RMO": true, "LRO": false,
 			},
 		},
 		{
@@ -118,6 +119,7 @@ func Registry() []Test {
 			Target: Condition{"t1:r1": 1, "t1:r2": 0},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": true, "WO": true,
+				"RMO": true, "LRO": true,
 			},
 		},
 		{
@@ -133,6 +135,7 @@ func Registry() []Test {
 			Target: Condition{"t0:r1": 1, "t1:r2": 1},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": false, "WO": true,
+				"RMO": false, "LRO": true,
 			},
 		},
 		{
@@ -148,6 +151,7 @@ func Registry() []Test {
 			Target: Condition{"x": 1, "y": 1},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": true, "WO": true,
+				"RMO": true, "LRO": false,
 			},
 		},
 		{
@@ -163,6 +167,7 @@ func Registry() []Test {
 			Target: Condition{"t1:r1": 1, "t1:r2": 0},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": false, "WO": false,
+				"RMO": false, "LRO": false,
 			},
 		},
 		{
@@ -181,6 +186,7 @@ func Registry() []Test {
 			Target: Condition{"t2:r1": 1, "t2:r2": 0, "t3:r3": 1, "t3:r4": 0},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": false, "WO": true,
+				"RMO": true, "LRO": true,
 			},
 		},
 		{
@@ -196,6 +202,7 @@ func Registry() []Test {
 			Target: Condition{"y": 2, "t1:r1": 0},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": true, "PSO": true, "WO": true,
+				"RMO": true, "LRO": false,
 			},
 		},
 		{
@@ -211,6 +218,7 @@ func Registry() []Test {
 			Target: Condition{"x": 2, "t1:r1": 1},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": true, "WO": true,
+				"RMO": true, "LRO": true,
 			},
 		},
 		{
@@ -227,6 +235,7 @@ func Registry() []Test {
 			Target: Condition{"t0:r1": 1, "t1:r2": 1},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": false, "WO": false,
+				"RMO": false, "LRO": false,
 			},
 		},
 		{
@@ -242,6 +251,7 @@ func Registry() []Test {
 			Target: Condition{"t1:r1": 1, "t1:r2": 0},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": false, "WO": false,
+				"RMO": false, "LRO": false,
 			},
 		},
 		{
@@ -258,6 +268,7 @@ func Registry() []Test {
 			Target: Condition{"t0:r1": 0},
 			AllowedUnder: map[string]bool{
 				"SC": false, "TSO": false, "PSO": false, "WO": false,
+				"RMO": false, "LRO": false,
 			},
 		},
 		{
@@ -270,6 +281,7 @@ func Registry() []Test {
 			Target: Condition{"x": 1},
 			AllowedUnder: map[string]bool{
 				"SC": true, "TSO": true, "PSO": true, "WO": true,
+				"RMO": true, "LRO": true,
 			},
 		},
 	}
@@ -370,11 +382,14 @@ func Check(t Test, model memmodel.Model) (Result, error) {
 	}, nil
 }
 
-// CheckAll runs every registered test under every canonical model.
+// CheckAll runs every registered test under every registered memory
+// model — the canonical four plus every variant in the memmodel
+// registry. A test with no expectation for some registered model is a
+// loud error (from Check), never a silent allowed=false row.
 func CheckAll() ([]Result, error) {
 	var results []Result
 	for _, t := range Registry() {
-		for _, model := range memmodel.All() {
+		for _, model := range memmodel.Registered() {
 			r, err := Check(t, model)
 			if err != nil {
 				return nil, err

@@ -1,0 +1,44 @@
+// gen regenerates internal/litmus/text/testdata/registry/: one .litmus
+// file per built-in litmus test, in the canonical printed form.
+//
+//	go run ./internal/litmus/text/gen
+//
+// The committed files are proven equivalent to litmus.Registry() (and
+// byte-identical to the printer's output) by TestCommittedRegistryFiles;
+// rerun this after changing the registry or the printer.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"memreliability/internal/litmus"
+	"memreliability/internal/litmus/text"
+)
+
+func main() {
+	dir := filepath.Join("internal", "litmus", "text", "testdata", "registry")
+	if err := run(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "gen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range litmus.Registry() {
+		data, err := text.Print(t)
+		if err != nil {
+			return fmt.Errorf("print %s: %w", t.Name, err)
+		}
+		path := filepath.Join(dir, t.Name+".litmus")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}

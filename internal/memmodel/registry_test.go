@@ -1,0 +1,96 @@
+package memmodel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisteredContainsCanonicalAndVariants(t *testing.T) {
+	models := Registered()
+	if len(models) < 6 {
+		t.Fatalf("Registered() = %d models, want ≥ 6", len(models))
+	}
+	// Registration order: the canonical four in strictness order first.
+	for i, m := range All() {
+		if models[i].Name() != m.Name() {
+			t.Errorf("Registered()[%d] = %s, want %s", i, models[i].Name(), m.Name())
+		}
+	}
+	byName := map[string][4]bool{}
+	for _, m := range models {
+		byName[m.Name()] = m.Table1Row()
+	}
+	// The variants' matrices, in Table 1 column order (ST/ST, ST/LD,
+	// LD/ST, LD/LD).
+	if got, want := byName["RMO"], [4]bool{true, true, false, true}; got != want {
+		t.Errorf("RMO row = %v, want %v", got, want)
+	}
+	if got, want := byName["LRO"], [4]bool{false, false, true, true}; got != want {
+		t.Errorf("LRO row = %v, want %v", got, want)
+	}
+	// All() stays the paper's four-model comparison set.
+	if len(All()) != 4 {
+		t.Errorf("All() = %d models, want 4", len(All()))
+	}
+}
+
+func TestByNameResolvesVariants(t *testing.T) {
+	for _, name := range []string{"RMO", "rmo", "LRO", "Lro"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != "RMO" && m.Name() != "LRO" {
+			t.Errorf("ByName(%q) = %s", name, m.Name())
+		}
+	}
+	if _, err := ByName("NOPE"); !errors.Is(err, ErrUnknownModel) {
+		t.Errorf("ByName(NOPE) err = %v", err)
+	}
+}
+
+func TestRegisterConflicts(t *testing.T) {
+	// Re-registering an identical definition is a no-op.
+	if err := Register(RMO()); err != nil {
+		t.Errorf("idempotent re-register: %v", err)
+	}
+	// A conflicting definition under an existing name errors.
+	clash, err := New("RMO", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(clash); !errors.Is(err, ErrBadModel) {
+		t.Errorf("conflicting register err = %v", err)
+	}
+	// Case-insensitive collision.
+	clash2, err := New("rmo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(clash2); !errors.Is(err, ErrBadModel) {
+		t.Errorf("case-variant register err = %v", err)
+	}
+	if err := Register(Model{}); !errors.Is(err, ErrBadModel) {
+		t.Errorf("zero-model register err = %v", err)
+	}
+}
+
+func TestVariantStrictness(t *testing.T) {
+	// Both variants sit strictly between the strongest and weakest
+	// canonical models.
+	for _, v := range []Model{RMO(), LRO()} {
+		if !SC().StrongerThan(v) {
+			t.Errorf("SC should be stronger than %s", v.Name())
+		}
+		if !v.StrongerThan(WO()) {
+			t.Errorf("%s should be stronger than WO", v.Name())
+		}
+	}
+	// RMO relaxes three pairs, LRO two.
+	if RMO().RelaxedPairCount() != 3 {
+		t.Errorf("RMO relaxes %d pairs", RMO().RelaxedPairCount())
+	}
+	if LRO().RelaxedPairCount() != 2 {
+		t.Errorf("LRO relaxes %d pairs", LRO().RelaxedPairCount())
+	}
+}

@@ -1,0 +1,283 @@
+// Package scenariogen generates seed-deterministic random scenarios for
+// differential testing and fuzzing: estimator queries over the full
+// model registry, random relax-matrix memory models, and random litmus
+// tests for the text-DSL round-trip property.
+//
+// Determinism is the contract: a Gen constructed from a seed emits
+// exactly the same sequence of scenarios on every run and platform
+// (it draws only from the repository's rng package), so any divergence
+// found by the differential harness is reproducible from (seed, index)
+// alone. Probabilities are drawn from an edge-heavy lattice that always
+// includes 0 and 1, because the degenerate corners (never swap, always
+// swap, all-stores, all-loads) are where estimation routes historically
+// disagree.
+package scenariogen
+
+import (
+	"fmt"
+	"sort"
+
+	"memreliability/internal/estimator"
+	"memreliability/internal/litmus"
+	"memreliability/internal/machine"
+	"memreliability/internal/memmodel"
+	"memreliability/internal/rng"
+)
+
+// ProbLattice is the probability lattice queries draw p and s from.
+// It deliberately includes both endpoints.
+var ProbLattice = []float64{0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1}
+
+// Gen is a deterministic scenario generator. It is not safe for
+// concurrent use; derive independent generators from distinct seeds.
+type Gen struct {
+	src *rng.Source
+}
+
+// New returns a generator whose whole output sequence is determined by
+// seed.
+func New(seed uint64) *Gen {
+	return &Gen{src: rng.New(seed)}
+}
+
+// Prob draws one probability from ProbLattice.
+func (g *Gen) Prob() float64 {
+	return ProbLattice[g.src.Intn(len(ProbLattice))]
+}
+
+// QueryParams bounds Query's draws. The zero value selects the
+// defaults: every registered model, the mc/mc-compiled/hybrid/exact
+// kinds, n ≤ 4, m ≤ 10, trials ≤ 4096.
+type QueryParams struct {
+	// Kinds to draw from. Default: exact, mc, mc-compiled, hybrid.
+	Kinds []estimator.Kind
+	// Models (names) to draw from. Default: every registered model.
+	Models []string
+	// MaxThreads bounds n (≥ 2). Default 4.
+	MaxThreads int
+	// MaxPrefix bounds m (≥ 1). Default 10.
+	MaxPrefix int
+	// MaxTrials bounds the Monte Carlo budget. Default 4096.
+	MaxTrials int
+}
+
+func (p QueryParams) withDefaults() QueryParams {
+	if len(p.Kinds) == 0 {
+		p.Kinds = []estimator.Kind{estimator.Exact, estimator.FullMC, estimator.CompiledMC, estimator.Hybrid}
+	}
+	if len(p.Models) == 0 {
+		for _, m := range memmodel.Registered() {
+			p.Models = append(p.Models, m.Name())
+		}
+	}
+	if p.MaxThreads < 2 {
+		p.MaxThreads = 4
+	}
+	if p.MaxPrefix < 1 {
+		p.MaxPrefix = 10
+	}
+	if p.MaxTrials < 1 {
+		p.MaxTrials = 4096
+	}
+	return p
+}
+
+// Query draws one valid estimator query within the given bounds. Every
+// query it returns passes estimator validation:
+// Query(p).Normalized().Validate() == nil for all seeds.
+func (g *Gen) Query(p QueryParams) estimator.Query {
+	p = p.withDefaults()
+	q := estimator.Query{
+		Kind:      p.Kinds[g.src.Intn(len(p.Kinds))],
+		Model:     p.Models[g.src.Intn(len(p.Models))],
+		Threads:   2 + g.src.Intn(p.MaxThreads-1),
+		PrefixLen: 1 + g.src.Intn(p.MaxPrefix),
+		StoreProb: g.Prob(),
+		SwapProb:  g.Prob(),
+		Seed:      g.src.Uint64(),
+	}
+	if q.Kind.NeedsTrials() {
+		// Whole chunks plus a ragged tail exercise both kernel paths.
+		q.Trials = 64*(1+g.src.Intn(p.MaxTrials/64)) + g.src.Intn(64)
+		if q.Trials > p.MaxTrials {
+			q.Trials = p.MaxTrials
+		}
+	}
+	// Mostly the default confidence; occasionally an explicit level.
+	if g.src.Intn(4) == 0 {
+		q.Confidence = []float64{0.9, 0.95, 0.99}[g.src.Intn(3)]
+	}
+	q.MaxGamma = g.src.Intn(q.PrefixLen + 1)
+	return q
+}
+
+// Model draws a random relax-matrix memory model: a uniform subset of
+// the four Table 1 reordering pairs. The model is NOT registered — it
+// exists for core-level differential checks that must cover the whole
+// 16-point model lattice, not only the named points. The name encodes
+// the matrix (e.g. "gen-1011") so failures identify the model exactly.
+func (g *Gen) Model() memmodel.Model {
+	types := []memmodel.OpType{memmodel.Store, memmodel.Load}
+	var relaxed []memmodel.Pair
+	mask := 0
+	bit := 1
+	for _, prev := range types {
+		for _, moving := range types {
+			if g.src.Bool(0.5) {
+				relaxed = append(relaxed, memmodel.Pair{Prev: prev, Moving: moving})
+				mask |= bit
+			}
+			bit <<= 1
+		}
+	}
+	m, err := memmodel.New(fmt.Sprintf("gen-%04b", mask), relaxed)
+	if err != nil {
+		// Unreachable: the name is non-empty and the pairs are valid.
+		panic(err)
+	}
+	return m
+}
+
+// LitmusParams bounds LitmusTest's draws. The zero value selects the
+// defaults: ≤ 3 threads, ≤ 4 ops per thread.
+type LitmusParams struct {
+	MaxThreads int // default 3
+	MaxOps     int // default 4
+}
+
+func (p LitmusParams) withDefaults() LitmusParams {
+	if p.MaxThreads < 1 {
+		p.MaxThreads = 3
+	}
+	if p.MaxOps < 1 {
+		p.MaxOps = 4
+	}
+	return p
+}
+
+var (
+	genLocs = []string{"x", "y", "z"}
+	genRegs = []string{"r0", "r1", "r2", "r3"}
+)
+
+// LitmusTest draws one well-formed random litmus test: a valid machine
+// program (Program.Validate passes), a satisfiable-shaped exists clause
+// over locations and written registers, and expectations for a random
+// subset of registered models. The AllowedUnder verdicts are random —
+// the output feeds parser/printer round-trip properties, not Check.
+func (g *Gen) LitmusTest(name string, p LitmusParams) litmus.Test {
+	p = p.withDefaults()
+	t := litmus.Test{Name: name}
+	if g.src.Bool(0.5) {
+		t.Description = fmt.Sprintf("generated scenario %s", name)
+	}
+	if g.src.Bool(0.75) {
+		init := map[string]int{}
+		for _, loc := range genLocs {
+			if g.src.Bool(0.5) {
+				init[loc] = g.src.Intn(5) - 1
+			}
+		}
+		if len(init) > 0 {
+			t.Prog.Init = init
+		}
+	}
+	nThreads := 1 + g.src.Intn(p.MaxThreads)
+	written := map[string]bool{} // "t<i>:<reg>" refs with a defined value
+	for ti := 0; ti < nThreads; ti++ {
+		th := machine.Thread{}
+		if g.src.Bool(0.25) {
+			th.Name = fmt.Sprintf("t%d", ti)
+		}
+		nOps := 1 + g.src.Intn(p.MaxOps)
+		var local []string // registers written so far in this thread
+		for oi := 0; oi < nOps; oi++ {
+			op := g.op(local)
+			if w := writtenReg(op); w != "" {
+				local = append(local, w)
+				written[fmt.Sprintf("t%d:%s", ti, w)] = true
+			}
+			th.Ops = append(th.Ops, op)
+		}
+		t.Prog.Threads = append(t.Prog.Threads, th)
+	}
+	t.Target = g.condition(written)
+	if expect := g.expectations(); len(expect) > 0 {
+		t.AllowedUnder = expect
+	}
+	return t
+}
+
+// op draws one instruction. Register operands are drawn only from regs
+// already written in the thread (so the program never reads an
+// undefined register); with no written registers, operands fall back to
+// immediates.
+func (g *Gen) op(local []string) machine.Op {
+	loc := genLocs[g.src.Intn(len(genLocs))]
+	dst := genRegs[g.src.Intn(len(genRegs))]
+	operand := func() machine.Operand {
+		if len(local) > 0 && g.src.Bool(0.5) {
+			return machine.Reg(local[g.src.Intn(len(local))])
+		}
+		return machine.Imm(g.src.Intn(5) - 1)
+	}
+	switch g.src.Intn(6) {
+	case 0:
+		return machine.LoadOp{Addr: loc, Dst: dst}
+	case 1:
+		return machine.StoreOp{Addr: loc, Src: operand()}
+	case 2:
+		return machine.AddOp{Dst: dst, A: operand(), B: operand()}
+	case 3:
+		kinds := []memmodel.OpType{memmodel.FenceFull, memmodel.FenceAcquire, memmodel.FenceRelease}
+		return machine.FenceOp{Kind: kinds[g.src.Intn(len(kinds))]}
+	case 4:
+		return machine.RMWAddOp{Addr: loc, Dst: dst, Delta: g.src.Intn(5) - 2}
+	default:
+		return machine.StoreOp{Addr: loc, Src: machine.Imm(1 + g.src.Intn(3))}
+	}
+}
+
+func writtenReg(op machine.Op) string {
+	switch o := op.(type) {
+	case machine.LoadOp:
+		return o.Dst
+	case machine.AddOp:
+		return o.Dst
+	case machine.RMWAddOp:
+		return o.Dst
+	}
+	return ""
+}
+
+// condition draws a non-empty exists clause over memory locations and
+// written registers.
+func (g *Gen) condition(written map[string]bool) litmus.Condition {
+	refs := append([]string{}, genLocs...)
+	for ref := range written {
+		refs = append(refs, ref)
+	}
+	// Map iteration order is random; the draw order must not be.
+	sort.Strings(refs[len(genLocs):])
+	cond := litmus.Condition{}
+	for len(cond) == 0 {
+		for _, ref := range refs {
+			if g.src.Bool(0.35) {
+				cond[ref] = g.src.Intn(5) - 1
+			}
+		}
+	}
+	return cond
+}
+
+// expectations draws verdicts for a random subset of registered models.
+// Verdicts are random booleans: grammar coverage, not ground truth.
+func (g *Gen) expectations() map[string]bool {
+	out := map[string]bool{}
+	for _, m := range memmodel.Registered() {
+		if g.src.Bool(0.5) {
+			out[m.Name()] = g.src.Bool(0.5)
+		}
+	}
+	return out
+}

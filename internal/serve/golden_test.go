@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"memreliability/internal/estimator"
+	"memreliability/internal/memmodel"
 	"memreliability/internal/sweep"
 )
 
@@ -235,5 +236,36 @@ func TestRegistryCompleteness(t *testing.T) {
 	resp, _ := post(t, ts.URL+"/v1/estimate", `{"model":"SC","estimator":"oracle"}`)
 	if resp.StatusCode != 400 {
 		t.Errorf("unregistered kind accepted: status %d", resp.StatusCode)
+	}
+
+	// The model registry mirrors the kind registry's contract: every
+	// registered model — canonical four and variants alike — is
+	// sweepable and accepted by every HTTP endpoint, with no
+	// per-surface model lists anywhere.
+	models := memmodel.Registered()
+	if len(models) < 6 {
+		t.Fatalf("model registry has %d models, want ≥ 6 (canonical four + RMO + LRO)", len(models))
+	}
+	for _, m := range models {
+		spec := sweep.DefaultSpec()
+		spec.Models = []string{m.Name()}
+		spec.Trials = 1
+		if err := spec.Normalized().Validate(); err != nil {
+			t.Errorf("registered model %q fails sweep validation: %v", m.Name(), err)
+		}
+		resp, data := post(t, ts.URL+"/v1/estimate",
+			`{"model":"`+m.Name()+`","threads":2,"prefix_len":8,"estimator":"mc","trials":50,"seed":1}`)
+		if resp.StatusCode != 200 {
+			t.Errorf("registered model %q rejected by /v1/estimate: status %d: %s", m.Name(), resp.StatusCode, data)
+		}
+		resp, data = post(t, ts.URL+"/v1/windowdist",
+			`{"model":"`+m.Name()+`","prefix_len":8,"max_gamma":4}`)
+		if resp.StatusCode != 200 {
+			t.Errorf("registered model %q rejected by /v1/windowdist: status %d: %s", m.Name(), resp.StatusCode, data)
+		}
+	}
+	resp, _ = post(t, ts.URL+"/v1/estimate", `{"model":"NOPE","threads":2,"prefix_len":8,"estimator":"mc","trials":50,"seed":1}`)
+	if resp.StatusCode != 400 {
+		t.Errorf("unregistered model accepted: status %d", resp.StatusCode)
 	}
 }
